@@ -1,0 +1,102 @@
+// Command dsgen generates a query workload, runs it on a simulated machine
+// configuration, and writes the labeled dataset (SQL, optimizer cost,
+// measured metrics, runtime category) as CSV.
+//
+// Usage:
+//
+//	dsgen -schema tpcds -machine research4 -count 500 -seed 1 -out pool.csv
+//	dsgen -schema customer -machine prod32:8 -count 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+func main() {
+	schemaName := flag.String("schema", "tpcds", "schema: tpcds or customer")
+	machineName := flag.String("machine", "research4", "machine: research4 or prod32:<cpus>")
+	count := flag.Int("count", 500, "number of queries to generate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	dataSeed := flag.Int64("dataseed", 1000, "data realization seed")
+	sf := flag.Float64("sf", 1, "TPC-DS scale factor")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	var (
+		schema    = catalog.TPCDS(*sf)
+		templates = workload.TPCDSTemplates()
+	)
+	switch *schemaName {
+	case "tpcds":
+	case "customer":
+		schema = catalog.CustomerSchema()
+		templates = workload.CustomerTemplates()
+	default:
+		fatal("unknown schema %q (want tpcds or customer)", *schemaName)
+	}
+
+	machine, err := parseMachine(*machineName)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Seed:      *seed,
+		DataSeed:  *dataSeed,
+		Machine:   machine,
+		Schema:    schema,
+		Templates: templates,
+		Count:     *count,
+	})
+	if err != nil {
+		fatal("generating dataset: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fatal("writing CSV: %v", err)
+	}
+
+	counts := ds.CategoryCounts()
+	fmt.Fprintf(os.Stderr, "generated %d queries on %s:", len(ds.Queries), machine)
+	for cat, n := range counts {
+		fmt.Fprintf(os.Stderr, " %s=%d", cat, n)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func parseMachine(name string) (exec.Machine, error) {
+	if name == "research4" {
+		return exec.Research4(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "prod32:"); ok {
+		p, err := strconv.Atoi(rest)
+		if err != nil || p <= 0 || p > 32 {
+			return exec.Machine{}, fmt.Errorf("bad processor count %q (want 1..32)", rest)
+		}
+		return exec.Production32(p), nil
+	}
+	return exec.Machine{}, fmt.Errorf("unknown machine %q (want research4 or prod32:<cpus>)", name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,189 @@
+// Command qpredict trains a KCCA performance predictor on a generated
+// training workload and predicts the six performance metrics of a query
+// given only its SQL text — the vendor-trains / customer-predicts workflow
+// of the paper's Fig. 1.
+//
+// Usage:
+//
+//	qpredict -sql "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 10"
+//	qpredict -machine prod32:8 -train 800 -twostep -sql "..."
+//
+// Without -sql, qpredict evaluates the model on a held-out test split and
+// prints accuracy, which is useful for sanity-checking a configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+func main() {
+	sqlText := flag.String("sql", "", "SQL statement to predict (omit to run a self-evaluation)")
+	trainCount := flag.Int("train", 1000, "training workload size")
+	seed := flag.Int64("seed", 1, "workload seed")
+	dataSeed := flag.Int64("dataseed", 1000, "data realization seed")
+	machineName := flag.String("machine", "research4", "machine: research4 or prod32:<cpus>")
+	twoStep := flag.Bool("twostep", false, "use two-step (query-type-specific) prediction")
+	verbose := flag.Bool("v", false, "print the query plan")
+	saveTo := flag.String("save", "", "after training, save the model to this file")
+	loadFrom := flag.String("load", "", "load a previously saved model instead of training")
+	flag.Parse()
+
+	machine, err := parseMachine(*machineName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	schema := catalog.TPCDS(1)
+	opt := core.DefaultOptions()
+	opt.TwoStep = *twoStep
+
+	var predictor *core.Predictor
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			fatal("opening model: %v", err)
+		}
+		predictor, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			fatal("loading model: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded model trained on %d queries\n", predictor.N())
+	} else {
+		fmt.Fprintf(os.Stderr, "generating %d training queries on %s...\n", *trainCount, machine)
+		pool, err := dataset.Generate(dataset.GenConfig{
+			Seed:      *seed,
+			DataSeed:  *dataSeed,
+			Machine:   machine,
+			Schema:    schema,
+			Templates: workload.TPCDSTemplates(),
+			Count:     *trainCount,
+		})
+		if err != nil {
+			fatal("generating training workload: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "training KCCA model...")
+		if *sqlText == "" && *saveTo == "" {
+			selfEvaluate(pool, opt)
+			return
+		}
+		predictor, err = core.Train(pool.Queries, opt)
+		if err != nil {
+			fatal("training: %v", err)
+		}
+	}
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fatal("creating %s: %v", *saveTo, err)
+		}
+		if err := predictor.Save(f); err != nil {
+			fatal("saving model: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("closing %s: %v", *saveTo, err)
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveTo)
+		if *sqlText == "" {
+			return
+		}
+	}
+	if *sqlText == "" {
+		fatal("-load requires -sql (nothing to self-evaluate a loaded model against)")
+	}
+
+	ast, err := sqlparse.Parse(*sqlText)
+	if err != nil {
+		fatal("parsing SQL: %v", err)
+	}
+	plan, err := optimizer.BuildPlan(ast, schema, *dataSeed, optimizer.DefaultConfig(machine.Processors))
+	if err != nil {
+		fatal("planning: %v", err)
+	}
+	if *verbose {
+		fmt.Fprint(os.Stderr, optimizer.Explain(plan))
+	}
+
+	pred, err := predictor.PredictQuery(&dataset.Query{SQL: *sqlText, AST: ast, Plan: plan})
+	if err != nil {
+		fatal("predicting: %v", err)
+	}
+
+	fmt.Printf("predicted query type:  %s\n", pred.Category)
+	fmt.Printf("confidence:            %.2f\n", pred.Confidence)
+	fmt.Printf("elapsed time:          %.2f s\n", pred.Metrics.ElapsedSec)
+	fmt.Printf("records accessed:      %.0f\n", pred.Metrics.RecordsAccessed)
+	fmt.Printf("records used:          %.0f\n", pred.Metrics.RecordsUsed)
+	fmt.Printf("disk I/Os:             %.0f\n", pred.Metrics.DiskIOs)
+	fmt.Printf("message count:         %.0f\n", pred.Metrics.MessageCount)
+	fmt.Printf("message bytes:         %.0f\n", pred.Metrics.MessageBytes)
+}
+
+// selfEvaluate holds out a fifth of the pool and reports accuracy.
+func selfEvaluate(pool *dataset.Dataset, opt core.Options) {
+	r := statutil.NewRNG(99, "qpredict-split")
+	n := len(pool.Queries)
+	testIdx := r.SampleInts(n, n/5)
+	inTest := map[int]bool{}
+	for _, i := range testIdx {
+		inTest[i] = true
+	}
+	var train, test []*dataset.Query
+	for i, q := range pool.Queries {
+		if inTest[i] {
+			test = append(test, q)
+		} else {
+			train = append(train, q)
+		}
+	}
+	predictor, err := core.Train(train, opt)
+	if err != nil {
+		fatal("training: %v", err)
+	}
+	var pred, act []float64
+	for _, q := range test {
+		p, err := predictor.PredictQuery(q)
+		if err != nil {
+			fatal("predicting: %v", err)
+		}
+		pred = append(pred, p.Metrics.ElapsedSec)
+		act = append(act, q.Metrics.ElapsedSec)
+	}
+	fmt.Printf("self-evaluation on %d held-out queries:\n", len(test))
+	fmt.Printf("  elapsed-time predictive risk: %s\n", eval.FormatRisk(eval.PredictiveRisk(pred, act)))
+	fmt.Printf("  within 20%% of actual:         %.0f%%\n", eval.WithinFactor(pred, act, 0.2)*100)
+	fmt.Print(eval.ScatterLogLog(pred, act, 60, 18, "  predicted vs actual elapsed time"))
+}
+
+func parseMachine(name string) (exec.Machine, error) {
+	if name == "research4" {
+		return exec.Research4(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "prod32:"); ok {
+		p, err := strconv.Atoi(rest)
+		if err != nil || p <= 0 || p > 32 {
+			return exec.Machine{}, fmt.Errorf("bad processor count %q (want 1..32)", rest)
+		}
+		return exec.Production32(p), nil
+	}
+	return exec.Machine{}, fmt.Errorf("unknown machine %q (want research4 or prod32:<cpus>)", name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

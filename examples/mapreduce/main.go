@@ -1,0 +1,102 @@
+// MapReduce job prediction: the paper's Sec. VIII future-work direction,
+// implemented. "Our long-term vision is to use domain-specific models ...
+// to answer what-if questions about workload performance on a variety of
+// complex systems. Only the feature vectors need to be customized for each
+// system. We are currently adapting our methodology to predict the
+// performance of map-reduce jobs."
+//
+// This example trains the same KCCA + kNN pipeline on executed MapReduce
+// jobs (simulated on a 10-node cluster), predicts held-out jobs' elapsed
+// time, shuffle volume, and output size before they run, and answers a
+// what-if question: how long would the workload take on a 100-node
+// cluster?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/eval"
+	"repro/internal/knn"
+	"repro/internal/mapreduce"
+	"repro/internal/statutil"
+)
+
+func history(seed int64, n int, c mapreduce.Cluster) []mapreduce.Executed {
+	tpls := mapreduce.Templates()
+	out := make([]mapreduce.Executed, 0, n)
+	for i := 0; i < n; i++ {
+		tpl := tpls[i%len(tpls)]
+		r := statutil.NewRNG(seed+int64(i), "mr:"+tpl.Name)
+		job := tpl.Gen(r)
+		m, err := mapreduce.Run(job, c, 17, statutil.NewRNG(seed+int64(i), "mrnoise"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, mapreduce.Executed{Job: job, Metrics: m})
+	}
+	return out
+}
+
+func main() {
+	dev := mapreduce.SmallCluster()
+	prod := mapreduce.LargeCluster()
+
+	// Train on 400 executed jobs from the development cluster's history.
+	train := history(100, 400, dev)
+	test := history(9000, 30, dev)
+
+	predictor, err := mapreduce.Train(train, knn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d executed jobs (dev cluster: %d nodes)\n\n", predictor.N(), dev.Nodes)
+
+	fmt.Printf("%-16s %12s %12s %14s %14s\n", "job", "pred (s)", "actual (s)", "pred shuffle", "actual shuffle")
+	var pe, ae []float64
+	for _, ex := range test[:10] {
+		pred, err := predictor.Predict(ex.Job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %12.0f %12.0f %13.1fG %13.1fG\n",
+			ex.Job.Kind, pred.ElapsedSec, ex.Metrics.ElapsedSec,
+			pred.ShuffleBytes/1e9, ex.Metrics.ShuffleBytes/1e9)
+	}
+	for _, ex := range test {
+		pred, err := predictor.Predict(ex.Job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pe = append(pe, pred.ElapsedSec)
+		ae = append(ae, ex.Metrics.ElapsedSec)
+	}
+	fmt.Printf("\nelapsed-time predictive risk over %d held-out jobs: %s (within 20%%: %.0f%%)\n",
+		len(test), eval.FormatRisk(eval.PredictiveRisk(pe, ae)), eval.WithinFactor(pe, ae, 0.2)*100)
+
+	// What-if: train a second model from the production cluster's history
+	// and predict the same workload there — sizing across software/
+	// hardware environments with zero production test runs.
+	prodTrain := history(300, 400, prod)
+	prodPredictor, err := mapreduce.Train(prodTrain, knn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var devTotal, prodTotal float64
+	for _, ex := range test {
+		d, err := predictor.Predict(ex.Job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := prodPredictor.Predict(ex.Job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devTotal += d.ElapsedSec
+		prodTotal += p.ElapsedSec
+	}
+	fmt.Printf("\nwhat-if for the %d-job workload:\n", len(test))
+	fmt.Printf("  predicted total on %3d nodes: %8.0f s\n", dev.Nodes, devTotal)
+	fmt.Printf("  predicted total on %3d nodes: %8.0f s (%.1fx speedup)\n",
+		prod.Nodes, prodTotal, devTotal/prodTotal)
+}

@@ -1,0 +1,124 @@
+package catalog
+
+// CustomerSchema returns the schema of the separate production database
+// used for the paper's Experiment 4: a telecom billing warehouse whose
+// tables, columns, and data distributions differ entirely from TPC-DS. The
+// model trained on TPC-DS queries is tested on queries against this schema
+// without retraining, exactly as in Sec. VII-A.4.
+func CustomerSchema() *Schema {
+	surrogate := func(name string, ndv int64) Column {
+		return Column{Name: name, Type: TypeInt, NDV: ndv, Min: 1, Max: float64(ndv), Width: 8}
+	}
+	fkCol := func(name string, ndv int64, skew float64) Column {
+		return Column{Name: name, Type: TypeInt, NDV: ndv, Min: 1, Max: float64(ndv), Skew: skew, Width: 8}
+	}
+	cat := func(name string, ndv int64, skew float64) Column {
+		return Column{Name: name, Type: TypeChar, NDV: ndv, Min: 0, Max: float64(ndv - 1), Skew: skew, Width: 16}
+	}
+	num := func(name string, min, max float64) Column {
+		return Column{Name: name, Type: TypeInt, NDV: int64(max-min) + 1, Min: min, Max: max, Width: 4}
+	}
+	money := func(name string, max float64) Column {
+		return Column{Name: name, Type: TypeDecimal, NDV: int64(max * 100), Min: 0, Max: max, Skew: 0.5, Width: 8}
+	}
+	day := func(name string, days int64) Column {
+		return Column{Name: name, Type: TypeDate, NDV: days, Min: 0, Max: float64(days - 1), Width: 8}
+	}
+
+	tables := []*Table{
+		{
+			Name: "call_records", RowCount: 6000000, IsFact: true,
+			Columns: []Column{
+				surrogate("call_id", 6000000),
+				fkCol("cr_sub_id", 1100000, 0.6),
+				day("cr_call_date", 365),
+				num("cr_duration_sec", 1, 7200),
+				num("cr_bytes_used", 0, 500000000),
+				cat("cr_cell_id", 2500, 0.7),
+				cat("cr_call_type", 4, 0.3),
+			},
+		},
+		{
+			Name: "invoices", RowCount: 1800000, IsFact: true,
+			Columns: []Column{
+				surrogate("inv_id", 1800000),
+				fkCol("inv_acct_id", 450000, 0.2),
+				day("inv_bill_date", 24),
+				money("inv_amount_due", 2000),
+				money("inv_amount_paid", 2000),
+				cat("inv_status", 3, 0.4),
+			},
+		},
+		{
+			Name: "payments", RowCount: 1600000, IsFact: true,
+			Columns: []Column{
+				surrogate("pay_id", 1600000),
+				fkCol("pay_inv_id", 1800000, 0),
+				day("pay_date", 730),
+				money("pay_amount", 2000),
+				cat("pay_method", 5, 0.5),
+			},
+		},
+		{
+			Name: "subscriptions", RowCount: 1100000,
+			Columns: []Column{
+				surrogate("sub_id", 1100000),
+				fkCol("sub_acct_id", 450000, 0.1),
+				fkCol("sub_plan_id", 180, 0.8),
+				fkCol("sub_device_id", 350000, 0.2),
+				day("sub_activation_date", 3650),
+				cat("sub_status", 5, 0.4),
+				money("sub_monthly_fee", 200),
+			},
+		},
+		{
+			Name: "accounts", RowCount: 450000,
+			Columns: []Column{
+				surrogate("acct_id", 450000),
+				fkCol("acct_region_id", 45, 0.5),
+				cat("acct_segment", 8, 0.3),
+				cat("acct_status", 4, 0.5),
+				money("acct_credit_limit", 10000),
+				day("acct_open_date", 7300),
+			},
+		},
+		{
+			Name: "devices", RowCount: 350000,
+			Columns: []Column{
+				surrogate("device_id", 350000),
+				cat("dev_model", 1200, 0.8),
+				cat("dev_vendor", 25, 0.7),
+				cat("dev_os", 4, 0.4),
+			},
+		},
+		{
+			Name: "plans", RowCount: 180,
+			Columns: []Column{
+				surrogate("plan_id", 180),
+				cat("plan_type", 6, 0.3),
+				money("plan_monthly_price", 200),
+				num("plan_data_cap_gb", 1, 1000),
+			},
+		},
+		{
+			Name: "regions", RowCount: 45,
+			Columns: []Column{
+				surrogate("region_id", 45),
+				cat("region_name", 45, 0),
+				cat("region_country", 5, 0.3),
+			},
+		},
+	}
+
+	fks := []ForeignKey{
+		{"call_records", "cr_sub_id", "subscriptions", "sub_id"},
+		{"invoices", "inv_acct_id", "accounts", "acct_id"},
+		{"payments", "pay_inv_id", "invoices", "inv_id"},
+		{"subscriptions", "sub_acct_id", "accounts", "acct_id"},
+		{"subscriptions", "sub_plan_id", "plans", "plan_id"},
+		{"subscriptions", "sub_device_id", "devices", "device_id"},
+		{"accounts", "acct_region_id", "regions", "region_id"},
+	}
+
+	return MustNewSchema("customer", tables, fks)
+}

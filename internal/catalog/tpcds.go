@@ -1,0 +1,377 @@
+package catalog
+
+import "math"
+
+// TPC-DS date surrogate keys span roughly five years of days, matching the
+// standard dataset (Julian day numbers 2450815..2452642 plus padding).
+const (
+	dsDateMin = 2450815
+	dsDateMax = 2452642
+)
+
+// TPCDS returns a TPC-DS-shaped schema at the given scale factor. Fact
+// table cardinalities scale linearly; the large customer-related dimensions
+// scale with the square root of the factor (mirroring how TPC-DS dimension
+// sizes grow sublinearly with scale); small dimensions are fixed.
+func TPCDS(sf float64) *Schema {
+	if sf <= 0 {
+		sf = 1
+	}
+	fact := func(base int64) int64 { return int64(float64(base) * sf) }
+	dim := func(base int64) int64 {
+		n := int64(float64(base) * math.Sqrt(sf))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	nCustomer := dim(100000)
+	nAddress := dim(50000)
+	nCdemo := int64(1920800) // fixed cross-product size in TPC-DS
+	nHdemo := int64(7200)
+	nItem := dim(18000)
+	nDate := int64(73049)
+	nTime := int64(86400)
+
+	surrogate := func(name string, ndv int64) Column {
+		return Column{Name: name, Type: TypeInt, NDV: ndv, Min: 1, Max: float64(ndv), Width: 8}
+	}
+	fkCol := func(name string, ndv int64, skew float64) Column {
+		return Column{Name: name, Type: TypeInt, NDV: ndv, Min: 1, Max: float64(ndv), Skew: skew, Width: 8}
+	}
+	dateFK := func(name string) Column {
+		return Column{Name: name, Type: TypeDate, NDV: 1823, Min: dsDateMin, Max: dsDateMax, Width: 8}
+	}
+	money := func(name string, max float64) Column {
+		return Column{Name: name, Type: TypeDecimal, NDV: int64(max * 100), Min: 0, Max: max, Skew: 0.6, Width: 8}
+	}
+	cat := func(name string, ndv int64, skew float64) Column {
+		return Column{Name: name, Type: TypeChar, NDV: ndv, Min: 0, Max: float64(ndv - 1), Skew: skew, Width: 16}
+	}
+	num := func(name string, min, max float64) Column {
+		return Column{Name: name, Type: TypeInt, NDV: int64(max-min) + 1, Min: min, Max: max, Width: 4}
+	}
+
+	tables := []*Table{
+		{
+			Name: "store_sales", RowCount: fact(2880404), IsFact: true,
+			Columns: []Column{
+				dateFK("ss_sold_date_sk"),
+				fkCol("ss_sold_time_sk", nTime, 0.3),
+				fkCol("ss_item_sk", nItem, 0.5),
+				fkCol("ss_customer_sk", nCustomer, 0.3),
+				fkCol("ss_cdemo_sk", nCdemo, 0),
+				fkCol("ss_hdemo_sk", nHdemo, 0),
+				fkCol("ss_addr_sk", nAddress, 0.2),
+				fkCol("ss_store_sk", 12, 0.4),
+				fkCol("ss_promo_sk", 300, 0.7),
+				surrogate("ss_ticket_number", fact(240000)),
+				num("ss_quantity", 1, 100),
+				money("ss_sales_price", 200),
+				money("ss_ext_sales_price", 20000),
+				money("ss_wholesale_cost", 100),
+				money("ss_list_price", 300),
+				money("ss_net_profit", 10000),
+			},
+		},
+		{
+			Name: "catalog_sales", RowCount: fact(1441548), IsFact: true,
+			Columns: []Column{
+				dateFK("cs_sold_date_sk"),
+				dateFK("cs_ship_date_sk"),
+				fkCol("cs_item_sk", nItem, 0.5),
+				fkCol("cs_bill_customer_sk", nCustomer, 0.3),
+				fkCol("cs_bill_cdemo_sk", nCdemo, 0),
+				fkCol("cs_bill_hdemo_sk", nHdemo, 0),
+				fkCol("cs_ship_mode_sk", 20, 0.3),
+				fkCol("cs_warehouse_sk", 5, 0.4),
+				fkCol("cs_call_center_sk", 6, 0.4),
+				fkCol("cs_catalog_page_sk", 11718, 0.3),
+				fkCol("cs_promo_sk", 300, 0.7),
+				num("cs_quantity", 1, 100),
+				money("cs_sales_price", 300),
+				money("cs_ext_sales_price", 30000),
+				money("cs_wholesale_cost", 100),
+				money("cs_net_profit", 15000),
+			},
+		},
+		{
+			Name: "web_sales", RowCount: fact(719384), IsFact: true,
+			Columns: []Column{
+				dateFK("ws_sold_date_sk"),
+				dateFK("ws_ship_date_sk"),
+				fkCol("ws_item_sk", nItem, 0.5),
+				fkCol("ws_bill_customer_sk", nCustomer, 0.3),
+				fkCol("ws_web_site_sk", 30, 0.4),
+				fkCol("ws_web_page_sk", 60, 0.4),
+				fkCol("ws_ship_mode_sk", 20, 0.3),
+				fkCol("ws_warehouse_sk", 5, 0.4),
+				fkCol("ws_promo_sk", 300, 0.7),
+				num("ws_quantity", 1, 100),
+				money("ws_sales_price", 300),
+				money("ws_ext_sales_price", 30000),
+				money("ws_net_profit", 15000),
+			},
+		},
+		{
+			Name: "store_returns", RowCount: fact(287514), IsFact: true,
+			Columns: []Column{
+				dateFK("sr_returned_date_sk"),
+				fkCol("sr_item_sk", nItem, 0.5),
+				fkCol("sr_customer_sk", nCustomer, 0.3),
+				fkCol("sr_store_sk", 12, 0.4),
+				fkCol("sr_reason_sk", 35, 0.5),
+				surrogate("sr_ticket_number", fact(230000)),
+				num("sr_return_quantity", 1, 100),
+				money("sr_return_amt", 20000),
+			},
+		},
+		{
+			Name: "catalog_returns", RowCount: fact(144067), IsFact: true,
+			Columns: []Column{
+				dateFK("cr_returned_date_sk"),
+				fkCol("cr_item_sk", nItem, 0.5),
+				fkCol("cr_refunded_customer_sk", nCustomer, 0.3),
+				fkCol("cr_call_center_sk", 6, 0.4),
+				fkCol("cr_reason_sk", 35, 0.5),
+				num("cr_return_quantity", 1, 100),
+				money("cr_return_amount", 30000),
+			},
+		},
+		{
+			Name: "web_returns", RowCount: fact(71763), IsFact: true,
+			Columns: []Column{
+				dateFK("wr_returned_date_sk"),
+				fkCol("wr_item_sk", nItem, 0.5),
+				fkCol("wr_refunded_customer_sk", nCustomer, 0.3),
+				fkCol("wr_web_page_sk", 60, 0.4),
+				fkCol("wr_reason_sk", 35, 0.5),
+				num("wr_return_quantity", 1, 100),
+				money("wr_return_amt", 30000),
+			},
+		},
+		{
+			Name: "inventory", RowCount: fact(11745000), IsFact: true,
+			Columns: []Column{
+				dateFK("inv_date_sk"),
+				fkCol("inv_item_sk", nItem, 0),
+				fkCol("inv_warehouse_sk", 5, 0),
+				num("inv_quantity_on_hand", 0, 1000),
+			},
+		},
+		{
+			Name: "date_dim", RowCount: nDate,
+			Columns: []Column{
+				Column{Name: "d_date_sk", Type: TypeDate, NDV: nDate, Min: 2415022, Max: 2488070, Width: 8},
+				num("d_year", 1900, 2100),
+				num("d_moy", 1, 12),
+				num("d_dom", 1, 31),
+				num("d_qoy", 1, 4),
+				cat("d_day_name", 7, 0),
+				num("d_month_seq", 0, 2400),
+			},
+		},
+		{
+			Name: "time_dim", RowCount: nTime,
+			Columns: []Column{
+				surrogate("t_time_sk", nTime),
+				num("t_hour", 0, 23),
+				num("t_minute", 0, 59),
+			},
+		},
+		{
+			Name: "item", RowCount: nItem,
+			Columns: []Column{
+				surrogate("i_item_sk", nItem),
+				cat("i_category", 10, 0.2),
+				num("i_category_id", 1, 10),
+				cat("i_class", 100, 0.3),
+				cat("i_brand", 700, 0.4),
+				num("i_manufact_id", 1, 1000),
+				money("i_current_price", 100),
+				cat("i_size", 7, 0.2),
+				cat("i_color", 92, 0.4),
+			},
+		},
+		{
+			Name: "customer", RowCount: nCustomer,
+			Columns: []Column{
+				surrogate("c_customer_sk", nCustomer),
+				fkCol("c_current_addr_sk", nAddress, 0),
+				fkCol("c_current_cdemo_sk", nCdemo, 0),
+				fkCol("c_current_hdemo_sk", nHdemo, 0),
+				num("c_birth_year", 1924, 1992),
+				cat("c_preferred_cust_flag", 2, 0),
+			},
+		},
+		{
+			Name: "customer_address", RowCount: nAddress,
+			Columns: []Column{
+				surrogate("ca_address_sk", nAddress),
+				cat("ca_state", 51, 0.5),
+				cat("ca_city", 600, 0.4),
+				cat("ca_county", 1850, 0.4),
+				num("ca_gmt_offset", -10, -5),
+				cat("ca_zip", 7000, 0.3),
+			},
+		},
+		{
+			Name: "customer_demographics", RowCount: nCdemo,
+			Columns: []Column{
+				surrogate("cd_demo_sk", nCdemo),
+				cat("cd_gender", 2, 0),
+				cat("cd_marital_status", 5, 0),
+				cat("cd_education_status", 7, 0),
+				num("cd_purchase_estimate", 500, 10000),
+				cat("cd_credit_rating", 4, 0),
+				num("cd_dep_count", 0, 9),
+			},
+		},
+		{
+			Name: "household_demographics", RowCount: nHdemo,
+			Columns: []Column{
+				surrogate("hd_demo_sk", nHdemo),
+				fkCol("hd_income_band_sk", 20, 0),
+				cat("hd_buy_potential", 6, 0),
+				num("hd_dep_count", 0, 9),
+				num("hd_vehicle_count", -1, 4),
+			},
+		},
+		{
+			Name: "income_band", RowCount: 20,
+			Columns: []Column{
+				surrogate("ib_income_band_sk", 20),
+				num("ib_lower_bound", 0, 190000),
+				num("ib_upper_bound", 10000, 200000),
+			},
+		},
+		{
+			Name: "store", RowCount: 12,
+			Columns: []Column{
+				surrogate("s_store_sk", 12),
+				cat("s_state", 9, 0),
+				cat("s_county", 9, 0),
+				num("s_number_employees", 200, 300),
+				num("s_floor_space", 5000000, 10000000),
+			},
+		},
+		{
+			Name: "warehouse", RowCount: 5,
+			Columns: []Column{
+				surrogate("w_warehouse_sk", 5),
+				cat("w_state", 5, 0),
+				num("w_warehouse_sq_ft", 50000, 1000000),
+			},
+		},
+		{
+			Name: "promotion", RowCount: 300,
+			Columns: []Column{
+				surrogate("p_promo_sk", 300),
+				cat("p_channel_email", 2, 0),
+				cat("p_channel_tv", 2, 0),
+				cat("p_channel_dmail", 2, 0),
+			},
+		},
+		{
+			Name: "ship_mode", RowCount: 20,
+			Columns: []Column{
+				surrogate("sm_ship_mode_sk", 20),
+				cat("sm_type", 6, 0),
+				cat("sm_carrier", 20, 0),
+			},
+		},
+		{
+			Name: "reason", RowCount: 35,
+			Columns: []Column{
+				surrogate("r_reason_sk", 35),
+				cat("r_reason_desc", 35, 0),
+			},
+		},
+		{
+			Name: "call_center", RowCount: 6,
+			Columns: []Column{
+				surrogate("cc_call_center_sk", 6),
+				cat("cc_state", 6, 0),
+				num("cc_employees", 100, 700),
+			},
+		},
+		{
+			Name: "catalog_page", RowCount: 11718,
+			Columns: []Column{
+				surrogate("cp_catalog_page_sk", 11718),
+				num("cp_catalog_number", 1, 109),
+			},
+		},
+		{
+			Name: "web_site", RowCount: 30,
+			Columns: []Column{
+				surrogate("web_site_sk", 30),
+				cat("web_class", 5, 0),
+			},
+		},
+		{
+			Name: "web_page", RowCount: 60,
+			Columns: []Column{
+				surrogate("wp_web_page_sk", 60),
+				cat("wp_type", 7, 0),
+			},
+		},
+	}
+
+	fks := []ForeignKey{
+		{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"},
+		{"store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk"},
+		{"store_sales", "ss_item_sk", "item", "i_item_sk"},
+		{"store_sales", "ss_customer_sk", "customer", "c_customer_sk"},
+		{"store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+		{"store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"},
+		{"store_sales", "ss_addr_sk", "customer_address", "ca_address_sk"},
+		{"store_sales", "ss_store_sk", "store", "s_store_sk"},
+		{"store_sales", "ss_promo_sk", "promotion", "p_promo_sk"},
+		{"catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"},
+		{"catalog_sales", "cs_ship_date_sk", "date_dim", "d_date_sk"},
+		{"catalog_sales", "cs_item_sk", "item", "i_item_sk"},
+		{"catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"},
+		{"catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+		{"catalog_sales", "cs_bill_hdemo_sk", "household_demographics", "hd_demo_sk"},
+		{"catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"},
+		{"catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk"},
+		{"catalog_sales", "cs_call_center_sk", "call_center", "cc_call_center_sk"},
+		{"catalog_sales", "cs_catalog_page_sk", "catalog_page", "cp_catalog_page_sk"},
+		{"catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"},
+		{"web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"},
+		{"web_sales", "ws_ship_date_sk", "date_dim", "d_date_sk"},
+		{"web_sales", "ws_item_sk", "item", "i_item_sk"},
+		{"web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"},
+		{"web_sales", "ws_web_site_sk", "web_site", "web_site_sk"},
+		{"web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk"},
+		{"web_sales", "ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"},
+		{"web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk"},
+		{"web_sales", "ws_promo_sk", "promotion", "p_promo_sk"},
+		{"store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk"},
+		{"store_returns", "sr_item_sk", "item", "i_item_sk"},
+		{"store_returns", "sr_customer_sk", "customer", "c_customer_sk"},
+		{"store_returns", "sr_store_sk", "store", "s_store_sk"},
+		{"store_returns", "sr_reason_sk", "reason", "r_reason_sk"},
+		{"catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk"},
+		{"catalog_returns", "cr_item_sk", "item", "i_item_sk"},
+		{"catalog_returns", "cr_refunded_customer_sk", "customer", "c_customer_sk"},
+		{"catalog_returns", "cr_call_center_sk", "call_center", "cc_call_center_sk"},
+		{"catalog_returns", "cr_reason_sk", "reason", "r_reason_sk"},
+		{"web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk"},
+		{"web_returns", "wr_item_sk", "item", "i_item_sk"},
+		{"web_returns", "wr_refunded_customer_sk", "customer", "c_customer_sk"},
+		{"web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk"},
+		{"web_returns", "wr_reason_sk", "reason", "r_reason_sk"},
+		{"inventory", "inv_date_sk", "date_dim", "d_date_sk"},
+		{"inventory", "inv_item_sk", "item", "i_item_sk"},
+		{"inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk"},
+		{"customer", "c_current_addr_sk", "customer_address", "ca_address_sk"},
+		{"customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+		{"customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk"},
+		{"household_demographics", "hd_income_band_sk", "income_band", "ib_income_band_sk"},
+	}
+
+	return MustNewSchema("tpcds", tables, fks)
+}

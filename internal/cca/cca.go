@@ -1,0 +1,148 @@
+// Package cca implements classical Canonical Correlation Analysis — the
+// Sec. V-D stepping stone between PCA and KCCA. Given two centered
+// multivariate datasets over the same items, CCA finds pairs of directions
+// (one per dataset) whose projections are maximally correlated. It is
+// solved here in its standard whitened-SVD form with ridge regularization.
+package cca
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Model is a fitted CCA basis.
+type Model struct {
+	// MeanX and MeanY are the column means removed before fitting.
+	MeanX, MeanY []float64
+	// WX and WY map (centered) observations into canonical space: one
+	// canonical direction per column.
+	WX, WY *linalg.Matrix
+	// Correlations are the canonical correlations, descending.
+	Correlations []float64
+}
+
+// Fit computes up to r canonical pairs between the rows of x and y with
+// ridge regularization reg (a fraction of the average covariance
+// diagonal). The matrices must have equal row counts.
+func Fit(x, y *linalg.Matrix, r int, reg float64) (*Model, error) {
+	if x.Rows != y.Rows {
+		return nil, errors.New("cca: datasets must have equal row counts")
+	}
+	if x.Rows < 3 {
+		return nil, errors.New("cca: need at least three rows")
+	}
+	if reg <= 0 {
+		reg = 1e-6
+	}
+	maxR := x.Cols
+	if y.Cols < maxR {
+		maxR = y.Cols
+	}
+	if r <= 0 || r > maxR {
+		r = maxR
+	}
+
+	cx := x.Clone()
+	cy := y.Clone()
+	meanX := cx.CenterColumns()
+	meanY := cy.CenterColumns()
+	n := float64(x.Rows - 1)
+
+	sxx := cx.TMul(cx).Scale(1 / n)
+	syy := cy.TMul(cy).Scale(1 / n)
+	sxy := cx.TMul(cy).Scale(1 / n)
+	ridge(sxx, reg)
+	ridge(syy, reg)
+
+	lx, err := linalg.Cholesky(sxx)
+	if err != nil {
+		return nil, err
+	}
+	ly, err := linalg.Cholesky(syy)
+	if err != nil {
+		return nil, err
+	}
+	lxInv := lx.InvLower()
+	lyInv := ly.InvLower()
+
+	// M = Lx⁻¹ Sxy Ly⁻ᵀ; its SVD gives the canonical structure.
+	m := lxInv.Mul(sxy).MulT(lyInv)
+	svd, err := linalg.SVD(m)
+	if err != nil {
+		return nil, err
+	}
+	u := svd.U.SliceCols(0, min(r, svd.U.Cols))
+	v := svd.V.SliceCols(0, min(r, svd.V.Cols))
+	r = u.Cols
+
+	// Canonical weights: WX = Lx⁻ᵀ U, WY = Ly⁻ᵀ V.
+	wx := lxInv.TMul(u)
+	wy := lyInv.TMul(v)
+
+	corr := make([]float64, r)
+	for i := 0; i < r; i++ {
+		c := svd.S[i]
+		if c > 1 {
+			c = 1
+		}
+		corr[i] = c
+	}
+	return &Model{MeanX: meanX, MeanY: meanY, WX: wx, WY: wy, Correlations: corr}, nil
+}
+
+func ridge(s *linalg.Matrix, reg float64) {
+	tr := 0.0
+	for i := 0; i < s.Rows; i++ {
+		tr += s.At(i, i)
+	}
+	avg := tr / math.Max(float64(s.Rows), 1)
+	if avg <= 0 {
+		avg = 1
+	}
+	s.AddDiag(reg*avg + 1e-12)
+}
+
+// ProjectX maps one x-observation into canonical space.
+func (m *Model) ProjectX(x []float64) []float64 {
+	return m.project(x, m.MeanX, m.WX)
+}
+
+// ProjectY maps one y-observation into canonical space.
+func (m *Model) ProjectY(y []float64) []float64 {
+	return m.project(y, m.MeanY, m.WY)
+}
+
+func (m *Model) project(v, mean []float64, w *linalg.Matrix) []float64 {
+	centered := make([]float64, len(v))
+	for i := range v {
+		centered[i] = v[i] - mean[i]
+	}
+	return w.TMulVec(centered)
+}
+
+// ProjectAllX maps every row of x into canonical space.
+func (m *Model) ProjectAllX(x *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(x.Rows, m.WX.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), m.ProjectX(x.Row(i)))
+	}
+	return out
+}
+
+// ProjectAllY maps every row of y into canonical space.
+func (m *Model) ProjectAllY(y *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(y.Rows, m.WY.Cols)
+	for i := 0; i < y.Rows; i++ {
+		copy(out.Row(i), m.ProjectY(y.Row(i)))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package cca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// plantedViews builds two datasets sharing one strong latent factor.
+func plantedViews(seed int64, n int) (*linalg.Matrix, *linalg.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(n, 3)
+	y := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64() // shared latent factor
+		x.Set(i, 0, z+0.1*rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, -z+0.1*rng.NormFloat64())
+		y.Set(i, 0, 2*z+0.1*rng.NormFloat64())
+		y.Set(i, 1, rng.NormFloat64())
+	}
+	return x, y
+}
+
+func pearson(a, b []float64) float64 {
+	ma, mb := linalg.Mean(a), linalg.Mean(b)
+	var sab, sa, sb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		sa += da * da
+		sb += db * db
+	}
+	if sa == 0 || sb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(sa*sb)
+}
+
+func TestFitFindsPlantedCorrelation(t *testing.T) {
+	x, y := plantedViews(1, 300)
+	m, err := Fit(x, y, 2, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Correlations[0] < 0.95 {
+		t.Errorf("top canonical correlation = %v, want > 0.95", m.Correlations[0])
+	}
+	// The projections themselves must be empirically correlated.
+	px := m.ProjectAllX(x)
+	py := m.ProjectAllY(y)
+	if c := math.Abs(pearson(px.Col(0), py.Col(0))); c < 0.95 {
+		t.Errorf("projection correlation = %v, want > 0.95", c)
+	}
+	// Second pair has no shared structure.
+	if m.Correlations[1] > 0.5 {
+		t.Errorf("second correlation = %v, want small", m.Correlations[1])
+	}
+}
+
+func TestCorrelationsSortedAndBounded(t *testing.T) {
+	x, y := plantedViews(2, 150)
+	m, err := Fit(x, y, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Correlations {
+		if c < 0 || c > 1 {
+			t.Errorf("correlation %d = %v out of [0,1]", i, c)
+		}
+		if i > 0 && c > m.Correlations[i-1]+1e-9 {
+			t.Errorf("correlations not descending: %v", m.Correlations)
+		}
+	}
+}
+
+func TestProjectSingleMatchesBatch(t *testing.T) {
+	x, y := plantedViews(3, 80)
+	m, err := Fit(x, y, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := m.ProjectAllX(x)
+	py := m.ProjectAllY(y)
+	for i := 0; i < 5; i++ {
+		sx := m.ProjectX(x.Row(i))
+		sy := m.ProjectY(y.Row(i))
+		for j := range sx {
+			if math.Abs(sx[j]-px.At(i, j)) > 1e-12 {
+				t.Fatalf("X projection mismatch at (%d,%d)", i, j)
+			}
+			if math.Abs(sy[j]-py.At(i, j)) > 1e-12 {
+				t.Fatalf("Y projection mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestUncorrelatedDataHasLowCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	x := linalg.NewMatrix(n, 3)
+	y := linalg.NewMatrix(n, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	m, err := Fit(x, y, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Correlations[0] > 0.4 {
+		t.Errorf("independent data should have low canonical correlation, got %v", m.Correlations[0])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(linalg.NewMatrix(5, 2), linalg.NewMatrix(6, 2), 1, 1e-3); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := Fit(linalg.NewMatrix(2, 2), linalg.NewMatrix(2, 2), 1, 1e-3); err == nil {
+		t.Error("too few rows accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Package cluster implements K-means clustering with k-means++ seeding —
+// the Sec. V-B baseline. The paper's point is that clustering a single
+// dataset cannot predict across two datasets: clusters in query-feature
+// space do not correspond to clusters in performance space. The
+// experiments use this package to demonstrate exactly that mismatch.
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/statutil"
+)
+
+// Result holds a K-means clustering.
+type Result struct {
+	// Centroids has one row per cluster.
+	Centroids *linalg.Matrix
+	// Assign maps each input row to its cluster index.
+	Assign []int
+	// Inertia is the total squared distance to assigned centroids.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// KMeans clusters the rows of x into k clusters using k-means++ seeding
+// followed by Lloyd's algorithm.
+func KMeans(x *linalg.Matrix, k int, r *statutil.RNG, maxIter int) (*Result, error) {
+	n := x.Rows
+	if k <= 0 || k > n {
+		return nil, errors.New("cluster: k out of range")
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	cent := seedPlusPlus(x, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var inertia float64
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		inertia = 0
+		counts := make([]int, k)
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := sqDist(x.Row(i), cent.Row(c))
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			counts[best]++
+			inertia += bestD
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		next := linalg.NewMatrix(k, x.Cols)
+		for i := 0; i < n; i++ {
+			linalg.Axpy(1, x.Row(i), next.Row(assign[i]))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(next.Row(c), x.Row(r.Intn(n)))
+				continue
+			}
+			linalg.ScaleVec(1/float64(counts[c]), next.Row(c))
+		}
+		cent = next
+	}
+	return &Result{Centroids: cent, Assign: assign, Inertia: inertia, Iters: iters}, nil
+}
+
+// Nearest returns the index of the centroid nearest to v.
+func (res *Result) Nearest(v []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < res.Centroids.Rows; c++ {
+		d := sqDist(v, res.Centroids.Row(c))
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func seedPlusPlus(x *linalg.Matrix, k int, r *statutil.RNG) *linalg.Matrix {
+	n := x.Rows
+	cent := linalg.NewMatrix(k, x.Cols)
+	copy(cent.Row(0), x.Row(r.Intn(n)))
+	dists := make([]float64, n)
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for cc := 0; cc < c; cc++ {
+				if dd := sqDist(x.Row(i), cent.Row(cc)); dd < d {
+					d = dd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with existing centroids.
+			copy(cent.Row(c), x.Row(r.Intn(n)))
+			continue
+		}
+		target := r.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		copy(cent.Row(c), x.Row(pick))
+	}
+	return cent
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// AgreementScore measures how well a clustering of dataset A predicts a
+// clustering of dataset B over the same items: for every pair of items it
+// checks whether co-membership in A's clusters matches co-membership in
+// B's clusters (the Rand index). A score near 0.5 means A's clusters carry
+// no information about B's — the paper's argument against clustering-based
+// prediction.
+func AgreementScore(assignA, assignB []int) float64 {
+	n := len(assignA)
+	if n != len(assignB) || n < 2 {
+		return math.NaN()
+	}
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := assignA[i] == assignA[j]
+			sameB := assignB[i] == assignB[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total)
+}

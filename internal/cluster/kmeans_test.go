@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/statutil"
+)
+
+func blobs(r *statutil.RNG, centers [][]float64, perBlob int, spread float64) (*linalg.Matrix, []int) {
+	n := len(centers) * perBlob
+	x := linalg.NewMatrix(n, len(centers[0]))
+	labels := make([]int, n)
+	for b, c := range centers {
+		for i := 0; i < perBlob; i++ {
+			row := x.Row(b*perBlob + i)
+			for j := range row {
+				row[j] = c[j] + spread*r.NormFloat64()
+			}
+			labels[b*perBlob+i] = b
+		}
+	}
+	return x, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	r := statutil.NewRNG(1, "blobs")
+	x, labels := blobs(r, [][]float64{{0, 0}, {10, 10}, {-10, 10}}, 40, 0.5)
+	res, err := KMeans(x, 3, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points of one true blob must share a cluster, and different
+	// blobs must get different clusters.
+	blobCluster := map[int]int{}
+	for i, lbl := range labels {
+		c := res.Assign[i]
+		if prev, ok := blobCluster[lbl]; ok && prev != c {
+			t.Fatalf("blob %d split across clusters", lbl)
+		}
+		blobCluster[lbl] = c
+	}
+	seen := map[int]bool{}
+	for _, c := range blobCluster {
+		if seen[c] {
+			t.Fatal("two blobs merged into one cluster")
+		}
+		seen[c] = true
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestKMeansNearest(t *testing.T) {
+	r := statutil.NewRNG(2, "nearest")
+	x, _ := blobs(r, [][]float64{{0, 0}, {10, 10}}, 20, 0.3)
+	res, err := KMeans(x, 2, r, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := res.Nearest([]float64{9.8, 10.2})
+	far := res.Nearest([]float64{0.1, -0.3})
+	if near == far {
+		t.Error("distinct blobs should map to distinct centroids")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	x := linalg.NewMatrix(3, 2)
+	r := statutil.NewRNG(3, "err")
+	if _, err := KMeans(x, 0, r, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(x, 4, r, 10); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	r := statutil.NewRNG(4, "kn")
+	x, _ := blobs(r, [][]float64{{0, 0}, {5, 5}}, 2, 0.01)
+	res, err := KMeans(x, 4, r, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 4 {
+		t.Fatalf("assign length = %d", len(res.Assign))
+	}
+}
+
+func TestAgreementScore(t *testing.T) {
+	// Identical clusterings agree perfectly.
+	a := []int{0, 0, 1, 1, 2, 2}
+	if s := AgreementScore(a, a); s != 1 {
+		t.Errorf("self agreement = %v, want 1", s)
+	}
+	// A permuted labeling is still the same clustering.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if s := AgreementScore(a, b); s != 1 {
+		t.Errorf("permuted agreement = %v, want 1", s)
+	}
+	if !math.IsNaN(AgreementScore(a, []int{0})) {
+		t.Error("mismatched lengths should be NaN")
+	}
+}
+
+func TestClusteringCannotBridgeDatasets(t *testing.T) {
+	// The paper's Sec. V-B argument: points clustered by query features do
+	// not correspond to points clustered by performance. Construct two
+	// views where view A clusters by the first coordinate and view B by an
+	// unrelated random grouping; the Rand agreement should be far from 1.
+	r := statutil.NewRNG(5, "bridge")
+	xa, _ := blobs(r, [][]float64{{0, 0}, {20, 0}}, 30, 0.5)
+	resA, err := KMeans(xa, 2, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// View B: random blob membership, independent of A.
+	assignB := make([]int, 60)
+	for i := range assignB {
+		assignB[i] = r.Intn(2)
+	}
+	s := AgreementScore(resA.Assign, assignB)
+	if s > 0.7 {
+		t.Errorf("independent views agree too much: %v", s)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/statutil"
+)
+
+// CrossValidateTauFrac selects the query-side Gaussian kernel scale
+// fraction by k-fold cross-validation on the training set, scoring
+// elapsed-time within-20% accuracy. The paper fixed the fractions (0.1
+// query side, 0.2 performance side) but notes "the scaling factors τx and
+// τy can be set by cross-validation" — this is that procedure.
+//
+// It returns the winning fraction and the per-candidate mean scores
+// (aligned with fracs).
+func CrossValidateTauFrac(train []*dataset.Query, fracs []float64, folds int, opt Options) (float64, []float64, error) {
+	if len(fracs) == 0 {
+		return 0, nil, errors.New("core: no candidate fractions")
+	}
+	if folds < 2 {
+		return 0, nil, errors.New("core: need at least 2 folds")
+	}
+	if len(train) < folds*5 {
+		return 0, nil, fmt.Errorf("core: %d training queries is too few for %d folds", len(train), folds)
+	}
+
+	// Deterministic fold assignment.
+	r := statutil.NewRNG(23, "crossval")
+	perm := r.Perm(len(train))
+	foldOf := make([]int, len(train))
+	for i, p := range perm {
+		foldOf[p] = i % folds
+	}
+
+	scores := make([]float64, len(fracs))
+	for fi, frac := range fracs {
+		if frac <= 0 {
+			return 0, nil, fmt.Errorf("core: nonpositive fraction %v", frac)
+		}
+		total, count := 0.0, 0
+		for fold := 0; fold < folds; fold++ {
+			var fit, held []*dataset.Query
+			for i, q := range train {
+				if foldOf[i] == fold {
+					held = append(held, q)
+				} else {
+					fit = append(fit, q)
+				}
+			}
+			o := opt
+			o.KCCA.TauFracX = frac
+			p, err := Train(fit, o)
+			if err != nil {
+				return 0, nil, fmt.Errorf("core: fold %d with frac %v: %w", fold, frac, err)
+			}
+			var pred, act []float64
+			for _, q := range held {
+				pr, err := p.PredictQuery(q)
+				if err != nil {
+					return 0, nil, err
+				}
+				pred = append(pred, pr.Metrics.ElapsedSec)
+				act = append(act, q.Metrics.ElapsedSec)
+			}
+			w := eval.WithinFactor(pred, act, 0.2)
+			total += w
+			count++
+		}
+		scores[fi] = total / float64(count)
+	}
+
+	bestIdx := 0
+	for i, s := range scores {
+		if s > scores[bestIdx] {
+			bestIdx = i
+		}
+	}
+	return fracs[bestIdx], scores, nil
+}

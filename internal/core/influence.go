@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/statutil"
+)
+
+// FeatureInfluence quantifies how much each query feature contributes to
+// the performance model, using the paper's Sec. VII-C.2 technique: since
+// reversing the KCCA projection is computationally difficult, compare the
+// similarity of each feature of a test query with the corresponding
+// features of its nearest neighbors. Features that are consistently close
+// between a query and its neighbors are the ones the model effectively
+// matches on; the paper found "the counts and cardinalities of the join
+// operators contribute the most".
+type FeatureInfluence struct {
+	// Name is the feature's name.
+	Name string
+	// Score in [0, 1]: mean similarity between test queries and their
+	// neighbors on this feature, where 1 means the feature is always
+	// (near-)identical between a query and its neighbors.
+	Score float64
+}
+
+// Influences computes feature influences over a set of probe queries.
+// Features whose values never vary across the training set are reported
+// with score 0 (they cannot influence neighbor selection).
+func (p *Predictor) Influences(probe []*dataset.Query, names []string) ([]FeatureInfluence, error) {
+	if len(probe) == 0 {
+		return nil, errors.New("core: no probe queries")
+	}
+	nf := p.model.X.Cols
+	if len(names) != nf {
+		return nil, errors.New("core: feature name count does not match model features")
+	}
+	// Per-feature scale: standard deviation over the training set.
+	scales := make([]float64, nf)
+	varying := make([]bool, nf)
+	for j := 0; j < nf; j++ {
+		col := p.model.X.Col(j)
+		sd := math.Sqrt(linalg.Variance(col))
+		scales[j] = sd
+		varying[j] = sd > 1e-12
+	}
+
+	// For each probe query, measure per-feature similarity to its actual
+	// neighbors AND to randomly drawn training queries. The influence of a
+	// feature is the excess neighbor similarity over the random baseline:
+	// features the model matches on are much closer among neighbors than
+	// among arbitrary pairs, while features that are globally near-constant
+	// (or ignored) show no excess.
+	nbSums := make([]float64, nf)
+	randSums := make([]float64, nf)
+	nbCount, randCount := 0, 0
+	r := statutil.NewRNG(29, "influence")
+	n := p.model.N()
+	for _, q := range probe {
+		f, err := queryFeature(q, p.opt.Features)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := p.PredictVector(f)
+		if err != nil {
+			return nil, err
+		}
+		accumulate := func(row []float64, sums []float64) {
+			for j := 0; j < nf; j++ {
+				if !varying[j] {
+					continue
+				}
+				d := math.Abs(f[j]-row[j]) / scales[j]
+				sums[j] += math.Exp(-d)
+			}
+		}
+		for _, nb := range pred.Neighbors {
+			accumulate(p.model.X.Row(nb.Index), nbSums)
+			nbCount++
+		}
+		for k := 0; k < len(pred.Neighbors); k++ {
+			accumulate(p.model.X.Row(r.Intn(n)), randSums)
+			randCount++
+		}
+	}
+	if nbCount == 0 || randCount == 0 {
+		return nil, errors.New("core: no neighbors found")
+	}
+	out := make([]FeatureInfluence, nf)
+	for j := 0; j < nf; j++ {
+		score := 0.0
+		if varying[j] {
+			score = nbSums[j]/float64(nbCount) - randSums[j]/float64(randCount)
+			if score < 0 {
+				score = 0
+			}
+		}
+		out[j] = FeatureInfluence{Name: names[j], Score: score}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out, nil
+}

@@ -1,0 +1,366 @@
+// Package core is the library's primary public surface: the query
+// performance predictor of the paper. A Predictor is trained from executed
+// queries (their plans or SQL text on the feature side, their measured
+// metrics on the performance side) and predicts all six performance
+// metrics for unseen queries using only pre-execution information,
+// following the KCCA + k-nearest-neighbor pipeline of Secs. VI and VII.
+//
+// Both prediction strategies from the paper are provided: the one-model
+// predictor (Experiment 1) and the two-step predictor (Experiment 3) that
+// first classifies a query as feather / golf ball / bowling ball using the
+// global model's neighbors and then predicts with a query-type-specific
+// model. Each prediction carries a confidence derived from neighbor
+// distance (Sec. VII-C.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/features"
+	"repro/internal/kcca"
+	"repro/internal/kernels"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+// FeatureKind selects the query-side feature vector.
+type FeatureKind int
+
+const (
+	// PlanFeatures is the Fig. 9 query plan vector — the paper's choice.
+	PlanFeatures FeatureKind = iota
+	// SQLFeatures is the Sec. VI-D.1 SQL text vector — shown inferior in
+	// Fig. 8.
+	SQLFeatures
+)
+
+func (f FeatureKind) String() string {
+	if f == SQLFeatures {
+		return "sql-text"
+	}
+	return "query-plan"
+}
+
+// Options configures predictor training.
+type Options struct {
+	Features FeatureKind
+	KCCA     kcca.Options
+	KNN      knn.Options
+	// TwoStep enables the Experiment 3 strategy: classify the query type
+	// from the global model's neighbors, then predict with a
+	// type-specific model.
+	TwoStep bool
+	// MinTypeModel is the smallest per-type training set for which a
+	// type-specific model is built (smaller types fall back to the global
+	// model). Zero selects a default.
+	MinTypeModel int
+}
+
+// DefaultOptions returns the paper's final configuration: plan features,
+// Gaussian kernels with the 0.1/0.2 scale fractions, k = 3 Euclidean
+// neighbors with equal weighting, one-model prediction.
+func DefaultOptions() Options {
+	return Options{
+		Features: PlanFeatures,
+		KCCA:     kcca.DefaultOptions(),
+		KNN:      knn.DefaultOptions(),
+	}
+}
+
+// Prediction is the result of predicting one query.
+type Prediction struct {
+	// Metrics are the predicted performance metrics.
+	Metrics exec.Metrics
+	// Category is the predicted query type (by predicted elapsed time for
+	// one-model prediction; by neighbor vote for two-step).
+	Category workload.Category
+	// Confidence in (0, 1]: low values flag anomalous queries whose
+	// neighbors are far away (Sec. VII-C.3).
+	Confidence float64
+	// Neighbors are the training-set indexes used.
+	Neighbors []knn.Neighbor
+}
+
+// Predictor predicts query performance metrics before execution.
+type Predictor struct {
+	opt Options
+
+	model     *kcca.Model
+	perfRaw   *linalg.Matrix // raw metrics, one row per training query
+	cats      []workload.Category
+	confScale float64
+	// kernelScale is the typical leave-one-out maximum kernel similarity
+	// among training queries, used to calibrate the in-distribution factor
+	// of confidence scores.
+	kernelScale float64
+
+	// Two-step: per-category sub-models (nil entries fall back to the
+	// global model).
+	sub map[workload.Category]*Predictor
+}
+
+// queryFeature extracts the configured feature vector for one query.
+func queryFeature(q *dataset.Query, kind FeatureKind) ([]float64, error) {
+	switch kind {
+	case SQLFeatures:
+		return features.SQLVector(q.SQL)
+	default:
+		if q.Plan == nil {
+			return nil, errors.New("core: query has no plan")
+		}
+		return features.PlanVector(q.Plan), nil
+	}
+}
+
+// Train fits a predictor on executed training queries.
+func Train(train []*dataset.Query, opt Options) (*Predictor, error) {
+	if len(train) < 5 {
+		return nil, fmt.Errorf("core: need at least 5 training queries, have %d", len(train))
+	}
+	if opt.KNN.K <= 0 {
+		opt.KNN = knn.DefaultOptions()
+	}
+	if opt.MinTypeModel <= 0 {
+		opt.MinTypeModel = 12
+	}
+
+	xRows := make([][]float64, len(train))
+	yRows := make([][]float64, len(train))
+	rawRows := make([][]float64, len(train))
+	cats := make([]workload.Category, len(train))
+	for i, q := range train {
+		f, err := queryFeature(q, opt.Features)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", q.ID, err)
+		}
+		xRows[i] = f
+		yRows[i] = features.PerfKernelVector(q.Metrics)
+		rawRows[i] = features.PerfRawVector(q.Metrics)
+		cats[i] = q.Category
+	}
+	x := features.Matrices(xRows)
+	y := features.Matrices(yRows)
+
+	model, err := kcca.Train(x, y, opt.KCCA)
+	if err != nil {
+		return nil, fmt.Errorf("core: KCCA training: %w", err)
+	}
+	p := &Predictor{
+		opt:     opt,
+		model:   model,
+		perfRaw: features.Matrices(rawRows),
+		cats:    cats,
+	}
+	p.confScale, p.kernelScale = p.referenceScales()
+
+	if opt.TwoStep {
+		p.sub = map[workload.Category]*Predictor{}
+		byCat := map[workload.Category][]*dataset.Query{}
+		for _, q := range train {
+			// Wrecking balls share the bowling-ball model, as in the
+			// paper's pools.
+			c := q.Category
+			if c == workload.WreckingBall {
+				c = workload.BowlingBall
+			}
+			byCat[c] = append(byCat[c], q)
+		}
+		subOpt := opt
+		subOpt.TwoStep = false
+		for c, qs := range byCat {
+			if len(qs) < opt.MinTypeModel {
+				continue // fall back to the global model for this type
+			}
+			sp, err := Train(qs, subOpt)
+			if err != nil {
+				continue
+			}
+			p.sub[c] = sp
+		}
+	}
+	return p, nil
+}
+
+// referenceScales estimates, from a training sample, the typical
+// nearest-neighbor distance in the query projection and the typical
+// leave-one-out maximum kernel similarity. Both are used to calibrate
+// confidence so that ordinary in-distribution queries score near 1.
+func (p *Predictor) referenceScales() (distScale, kernelScale float64) {
+	n := p.model.N()
+	sample := n
+	if sample > 60 {
+		sample = 60
+	}
+	r := statutil.NewRNG(17, "confscale")
+	idx := r.SampleInts(n, sample)
+	dists := make([]float64, 0, sample)
+	maxKs := make([]float64, 0, sample)
+	k := p.opt.KNN.K
+	if k < 1 {
+		k = 3
+	}
+	for _, i := range idx {
+		row := p.model.QueryProj.Row(i)
+		// Mean distance to the k nearest other training points — the same
+		// statistic Confidence computes for a prediction.
+		var all []float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			all = append(all, linalg.Dist(row, p.model.QueryProj.Row(j)))
+		}
+		sort.Float64s(all)
+		kk := k
+		if kk > len(all) {
+			kk = len(all)
+		}
+		if kk > 0 {
+			dists = append(dists, linalg.Mean(all[:kk]))
+		}
+		bestK := 0.0
+		xi := p.model.X.Row(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if kv := kernels.Gaussian(xi, p.model.X.Row(j), p.model.TauX); kv > bestK {
+				bestK = kv
+			}
+		}
+		maxKs = append(maxKs, bestK)
+	}
+	distScale = 3 * statutil.Quantile(dists, 0.9)
+	if !(distScale > 0) {
+		distScale = 1
+	}
+	kernelScale = statutil.Quantile(maxKs, 0.5)
+	if !(kernelScale > 0) {
+		kernelScale = 1
+	}
+	return distScale, kernelScale
+}
+
+// PredictQuery predicts the metrics of a planned (but not executed) query.
+func (p *Predictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
+	f, err := queryFeature(q, p.opt.Features)
+	if err != nil {
+		return nil, err
+	}
+	return p.PredictVector(f)
+}
+
+// PredictVector predicts from a raw query feature vector.
+func (p *Predictor) PredictVector(f []float64) (*Prediction, error) {
+	proj := p.model.ProjectQuery(f)
+	nbs, err := knn.Nearest(p.model.QueryProj, proj, p.opt.KNN.K, p.opt.KNN.Distance)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.opt.TwoStep {
+		cat := p.voteCategory(nbs)
+		if sub, ok := p.sub[cat]; ok {
+			pred, err := sub.PredictVector(f)
+			if err == nil {
+				pred.Category = cat
+				return pred, nil
+			}
+		}
+		// Fall back to the global model but keep the voted category.
+		pred := p.combine(f, nbs)
+		pred.Category = cat
+		return pred, nil
+	}
+
+	pred := p.combine(f, nbs)
+	pred.Category = workload.Categorize(pred.Metrics.ElapsedSec)
+	return pred, nil
+}
+
+func (p *Predictor) combine(f []float64, nbs []knn.Neighbor) *Prediction {
+	vals := knn.Combine(p.perfRaw, nbs, p.opt.KNN.Weighting)
+	// Confidence combines projection-space neighbor distance with the raw
+	// kernel similarity: a query far outside the training distribution has
+	// a numerically zero kernel vector, so its projection coordinates are
+	// meaningless even when they happen to land near a cluster. The kernel
+	// factor is calibrated against the training set's own leave-one-out
+	// similarities, so ordinary queries score near 1.
+	kfac := p.model.MaxKernel(f) / p.kernelScale
+	if kfac > 1 {
+		kfac = 1
+	}
+	conf := knn.Confidence(nbs, p.confScale) * kfac
+	return &Prediction{
+		Metrics:    exec.MetricsFromVector(vals),
+		Confidence: conf,
+		Neighbors:  nbs,
+	}
+}
+
+// voteCategory classifies the query type by majority vote over the
+// neighbors' categories (ties broken toward the nearer neighbor's type),
+// with wrecking balls counted as bowling balls.
+func (p *Predictor) voteCategory(nbs []knn.Neighbor) workload.Category {
+	votes := map[workload.Category]int{}
+	for _, nb := range nbs {
+		c := p.cats[nb.Index]
+		if c == workload.WreckingBall {
+			c = workload.BowlingBall
+		}
+		votes[c]++
+	}
+	type kv struct {
+		c workload.Category
+		n int
+	}
+	var list []kv
+	for c, n := range votes {
+		list = append(list, kv{c, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		// Tie: prefer the category of the nearest neighbor among the tied.
+		return p.nearestRank(nbs, list[i].c) < p.nearestRank(nbs, list[j].c)
+	})
+	return list[0].c
+}
+
+func (p *Predictor) nearestRank(nbs []knn.Neighbor, c workload.Category) int {
+	for rank, nb := range nbs {
+		nc := p.cats[nb.Index]
+		if nc == workload.WreckingBall {
+			nc = workload.BowlingBall
+		}
+		if nc == c {
+			return rank
+		}
+	}
+	return len(nbs)
+}
+
+// WithKNN returns a predictor sharing this one's trained model but using
+// different nearest-neighbor options — the Tables I-III design studies vary
+// the distance metric, neighbor count, and weighting without retraining.
+func (p *Predictor) WithKNN(opt knn.Options) *Predictor {
+	clone := *p
+	clone.opt.KNN = opt
+	if opt.K <= 0 {
+		clone.opt.KNN = knn.DefaultOptions()
+	}
+	return &clone
+}
+
+// N returns the number of training queries.
+func (p *Predictor) N() int { return p.model.N() }
+
+// Model exposes the underlying KCCA model (for inspection and plots).
+func (p *Predictor) Model() *kcca.Model { return p.model }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/kcca"
+	"repro/internal/linalg"
+	"repro/internal/workload"
+)
+
+// predictorWire is the gob-encodable mirror of Predictor. The KCCA model
+// is nested as its own Save() bytes so its unexported internals stay
+// encapsulated.
+type predictorWire struct {
+	Opt         Options
+	ModelBytes  []byte
+	PerfRaw     *linalg.Matrix
+	Cats        []workload.Category
+	ConfScale   float64
+	KernelScale float64
+	Subs        map[workload.Category][]byte
+}
+
+// Save serializes the trained predictor (including two-step sub-models)
+// so a vendor-trained model can be shipped to customer sites, as in the
+// paper's Fig. 1 deployment.
+func (p *Predictor) Save(w io.Writer) error {
+	wire, err := p.toWire()
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("core: encoding predictor: %w", err)
+	}
+	return nil
+}
+
+func (p *Predictor) toWire() (*predictorWire, error) {
+	var modelBuf bytes.Buffer
+	if err := p.model.Save(&modelBuf); err != nil {
+		return nil, err
+	}
+	wire := &predictorWire{
+		Opt:         p.opt,
+		ModelBytes:  modelBuf.Bytes(),
+		PerfRaw:     p.perfRaw,
+		Cats:        p.cats,
+		ConfScale:   p.confScale,
+		KernelScale: p.kernelScale,
+	}
+	if p.sub != nil {
+		wire.Subs = map[workload.Category][]byte{}
+		for c, sp := range p.sub {
+			var buf bytes.Buffer
+			if err := sp.Save(&buf); err != nil {
+				return nil, err
+			}
+			wire.Subs[c] = buf.Bytes()
+		}
+	}
+	return wire, nil
+}
+
+// Load deserializes a predictor written by Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var wire predictorWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	return fromWire(&wire)
+}
+
+func fromWire(wire *predictorWire) (*Predictor, error) {
+	model, err := kcca.Load(bytes.NewReader(wire.ModelBytes))
+	if err != nil {
+		return nil, err
+	}
+	if wire.PerfRaw == nil || wire.PerfRaw.Rows != model.N() {
+		return nil, fmt.Errorf("core: decoded predictor is inconsistent")
+	}
+	p := &Predictor{
+		opt:         wire.Opt,
+		model:       model,
+		perfRaw:     wire.PerfRaw,
+		cats:        wire.Cats,
+		confScale:   wire.ConfScale,
+		kernelScale: wire.KernelScale,
+	}
+	if wire.Subs != nil {
+		p.sub = map[workload.Category]*Predictor{}
+		for c, raw := range wire.Subs {
+			sp, err := Load(bytes.NewReader(raw))
+			if err != nil {
+				return nil, err
+			}
+			p.sub[c] = sp
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	train, test := trainTest(t)
+	p, err := Train(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != p.N() {
+		t.Fatalf("N = %d, want %d", loaded.N(), p.N())
+	}
+	// Predictions must be bit-identical.
+	for _, q := range test {
+		a, err := p.PredictQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.PredictQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Metrics != b.Metrics || a.Confidence != b.Confidence || a.Category != b.Category {
+			t.Fatalf("prediction changed after round trip:\n%+v\n%+v", a, b)
+		}
+	}
+}
+
+func TestSaveLoadTwoStep(t *testing.T) {
+	train, test := trainTest(t)
+	opt := DefaultOptions()
+	opt.TwoStep = true
+	p, err := Train(train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.sub) != len(p.sub) {
+		t.Fatalf("sub-models = %d, want %d", len(loaded.sub), len(p.sub))
+	}
+	for _, q := range test[:5] {
+		a, _ := p.PredictQuery(q)
+		b, _ := loaded.PredictQuery(q)
+		if a.Metrics != b.Metrics || a.Category != b.Category {
+			t.Fatal("two-step prediction changed after round trip")
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

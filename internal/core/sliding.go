@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// SlidingPredictor maintains a bounded window of the most recently
+// executed queries and periodically retrains the predictor from it — the
+// paper's Sec. VII-C.4 enhancement: "maintain a sliding training set of
+// data with a larger emphasis on more recently executed queries", making
+// the model adapt to workload drift without the cubic cost of retraining
+// after every query.
+type SlidingPredictor struct {
+	opt Options
+	// capacity bounds the training window.
+	capacity int
+	// retrainEvery is the number of newly observed queries between
+	// retrainings.
+	retrainEvery int
+
+	window     []*dataset.Query
+	sinceTrain int
+	current    *Predictor
+	// retrains counts completed trainings (visible for tests/metrics).
+	retrains int
+}
+
+// NewSliding returns a sliding predictor that keeps up to capacity recent
+// queries and retrains after every retrainEvery observations. Training
+// first happens once the window holds at least max(retrainEvery, 5)
+// queries.
+func NewSliding(capacity, retrainEvery int, opt Options) (*SlidingPredictor, error) {
+	if capacity < 5 {
+		return nil, errors.New("core: sliding window capacity must be at least 5")
+	}
+	if retrainEvery < 1 {
+		return nil, errors.New("core: retrain interval must be positive")
+	}
+	if retrainEvery > capacity {
+		return nil, fmt.Errorf("core: retrain interval %d exceeds capacity %d", retrainEvery, capacity)
+	}
+	return &SlidingPredictor{opt: opt, capacity: capacity, retrainEvery: retrainEvery}, nil
+}
+
+// Observe records one executed query (with measured metrics) into the
+// window, evicting the oldest entry when full, and retrains when due.
+func (s *SlidingPredictor) Observe(q *dataset.Query) error {
+	if len(s.window) == s.capacity {
+		copy(s.window, s.window[1:])
+		s.window[len(s.window)-1] = q
+	} else {
+		s.window = append(s.window, q)
+	}
+	s.sinceTrain++
+	if s.sinceTrain >= s.retrainEvery && len(s.window) >= 5 {
+		return s.Retrain()
+	}
+	return nil
+}
+
+// Retrain rebuilds the predictor from the current window immediately.
+func (s *SlidingPredictor) Retrain() error {
+	if len(s.window) < 5 {
+		return errors.New("core: too few observed queries to train")
+	}
+	p, err := Train(s.window, s.opt)
+	if err != nil {
+		return err
+	}
+	s.current = p
+	s.sinceTrain = 0
+	s.retrains++
+	return nil
+}
+
+// Ready reports whether a model has been trained.
+func (s *SlidingPredictor) Ready() bool { return s.current != nil }
+
+// PredictQuery predicts with the most recently trained model.
+func (s *SlidingPredictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
+	if s.current == nil {
+		return nil, errors.New("core: sliding predictor has not trained yet")
+	}
+	return s.current.PredictQuery(q)
+}
+
+// WindowSize returns the number of queries currently held.
+func (s *SlidingPredictor) WindowSize() int { return len(s.window) }
+
+// Retrains returns how many trainings have completed.
+func (s *SlidingPredictor) Retrains() int { return s.retrains }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestNewSlidingValidation(t *testing.T) {
+	if _, err := NewSliding(3, 1, DefaultOptions()); err == nil {
+		t.Error("tiny capacity accepted")
+	}
+	if _, err := NewSliding(10, 0, DefaultOptions()); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewSliding(10, 20, DefaultOptions()); err == nil {
+		t.Error("interval beyond capacity accepted")
+	}
+	if _, err := NewSliding(50, 10, DefaultOptions()); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestSlidingObserveAndRetrain(t *testing.T) {
+	ds := pool(t)
+	s, err := NewSliding(120, 40, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ready() {
+		t.Error("fresh predictor should not be ready")
+	}
+	if _, err := s.PredictQuery(ds.Queries[0]); err == nil {
+		t.Error("prediction before training accepted")
+	}
+
+	for i, q := range ds.Queries[:40] {
+		if err := s.Observe(q); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if !s.Ready() || s.Retrains() != 1 {
+		t.Fatalf("expected one retraining after 40 observations, got %d", s.Retrains())
+	}
+	if s.WindowSize() != 40 {
+		t.Errorf("window = %d", s.WindowSize())
+	}
+
+	pred, err := s.PredictQuery(ds.Queries[200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Metrics.ElapsedSec < 0 {
+		t.Error("negative prediction")
+	}
+}
+
+func TestSlidingWindowEvicts(t *testing.T) {
+	ds := pool(t)
+	s, err := NewSliding(60, 30, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries[:200] {
+		if err := s.Observe(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.WindowSize() != 60 {
+		t.Errorf("window = %d, want capacity 60", s.WindowSize())
+	}
+	// 200 observations / 30 per retrain = 6 trainings.
+	if s.Retrains() != 6 {
+		t.Errorf("retrains = %d, want 6", s.Retrains())
+	}
+	// The window holds the 60 MOST RECENT queries.
+	if s.window[len(s.window)-1].ID != ds.Queries[199].ID {
+		t.Error("window tail is not the latest query")
+	}
+	if s.window[0].ID != ds.Queries[140].ID {
+		t.Errorf("window head = %d, want 140", s.window[0].ID)
+	}
+}
+
+func TestSlidingAdaptsToRecentWorkload(t *testing.T) {
+	// After the window slides entirely past an early workload phase, the
+	// model must reflect the recent phase: predictions for a recent-phase
+	// query should use recent neighbors.
+	ds := pool(t)
+	byCat := map[workload.Category][]int{}
+	for i, q := range ds.Queries {
+		byCat[q.Category] = append(byCat[q.Category], i)
+	}
+	s, err := NewSliding(80, 40, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries[:300] {
+		if err := s.Observe(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Ready() {
+		t.Fatal("not ready")
+	}
+	// The trained model's size equals the window, not the full history.
+	if s.current.N() != 80 {
+		t.Errorf("model N = %d, want 80", s.current.N())
+	}
+}
+
+func TestCrossValidateTauFrac(t *testing.T) {
+	ds := pool(t)
+	train := ds.Queries[:150]
+	best, scores, err := CrossValidateTauFrac(train, []float64{0.05, 0.1, 0.4}, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores = %v", scores)
+	}
+	found := false
+	bestScore := 0.0
+	for i, f := range []float64{0.05, 0.1, 0.4} {
+		if f == best {
+			found = true
+			bestScore = scores[i]
+		}
+		if scores[i] < 0 || scores[i] > 1 {
+			t.Errorf("score %d out of range: %v", i, scores[i])
+		}
+	}
+	if !found {
+		t.Fatalf("best frac %v not among candidates", best)
+	}
+	for _, s := range scores {
+		if s > bestScore {
+			t.Error("best fraction does not have the best score")
+		}
+	}
+}
+
+func TestCrossValidateTauFracErrors(t *testing.T) {
+	ds := pool(t)
+	train := ds.Queries[:60]
+	if _, _, err := CrossValidateTauFrac(train, nil, 3, DefaultOptions()); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, _, err := CrossValidateTauFrac(train, []float64{0.1}, 1, DefaultOptions()); err == nil {
+		t.Error("single fold accepted")
+	}
+	if _, _, err := CrossValidateTauFrac(train[:8], []float64{0.1}, 3, DefaultOptions()); err == nil {
+		t.Error("too-small training set accepted")
+	}
+	if _, _, err := CrossValidateTauFrac(train, []float64{-1}, 3, DefaultOptions()); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/exec"
+)
+
+// csvHeader is the column layout of the dataset CSV format.
+var csvHeader = []string{
+	"id", "template", "class", "category", "optimizer_cost",
+	"elapsed_sec", "records_accessed", "records_used",
+	"disk_ios", "message_count", "message_bytes", "sql",
+}
+
+// WriteCSV writes the dataset in a flat CSV format: identification,
+// category, optimizer cost, the six measured metrics, and the SQL text.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, q := range d.Queries {
+		cost := 0.0
+		if q.Plan != nil {
+			cost = q.Plan.Cost
+		}
+		rec := []string{
+			strconv.Itoa(q.ID),
+			q.Template,
+			q.Class,
+			q.Category.String(),
+			f(cost),
+			f(q.Metrics.ElapsedSec),
+			f(q.Metrics.RecordsAccessed),
+			f(q.Metrics.RecordsUsed),
+			f(q.Metrics.DiskIOs),
+			f(q.Metrics.MessageCount),
+			f(q.Metrics.MessageBytes),
+			q.SQL,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Row is one record of the CSV format: everything except the plan (which
+// must be recreated by re-planning the SQL against a schema).
+type Row struct {
+	ID            int
+	Template      string
+	Class         string
+	Category      string
+	OptimizerCost float64
+	Metrics       exec.Metrics
+	SQL           string
+}
+
+// ReadCSV parses a dataset CSV written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("dataset: CSV header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var rows []Row
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: bad id %q", line, rec[0])
+		}
+		nums := make([]float64, 7)
+		for i := range nums {
+			nums[i], err = strconv.ParseFloat(rec[4+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: bad number %q", line, rec[4+i])
+			}
+		}
+		rows = append(rows, Row{
+			ID:            id,
+			Template:      rec[1],
+			Class:         rec[2],
+			Category:      rec[3],
+			OptimizerCost: nums[0],
+			Metrics: exec.Metrics{
+				ElapsedSec:      nums[1],
+				RecordsAccessed: nums[2],
+				RecordsUsed:     nums[3],
+				DiskIOs:         nums[4],
+				MessageCount:    nums[5],
+				MessageBytes:    nums[6],
+			},
+			SQL: rec[11],
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := smallDataset(t, 24)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ds.Queries) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(ds.Queries))
+	}
+	for i, row := range rows {
+		q := ds.Queries[i]
+		if row.ID != q.ID || row.Template != q.Template || row.SQL != q.SQL {
+			t.Fatalf("row %d identity mismatch", i)
+		}
+		if row.Metrics != q.Metrics {
+			t.Fatalf("row %d metrics mismatch: %v vs %v", i, row.Metrics, q.Metrics)
+		}
+		if row.Category != q.Category.String() {
+			t.Fatalf("row %d category mismatch", i)
+		}
+		if row.OptimizerCost != q.Plan.Cost {
+			t.Fatalf("row %d cost mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,valid,header\n",
+		strings.Join(csvHeader, ",") + "\nnot-a-number,t,c,cat,1,1,1,1,1,1,1,sql\n",
+		strings.Join(csvHeader, ",") + "\n1,t,c,cat,xx,1,1,1,1,1,1,sql\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+func smallDataset(t *testing.T, count int) *Dataset {
+	t.Helper()
+	ds, err := Generate(GenConfig{
+		Seed: 5, DataSeed: 1, Machine: exec.Research4(),
+		Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: count,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ds := smallDataset(t, 48)
+	if len(ds.Queries) != 48 {
+		t.Fatalf("query count = %d", len(ds.Queries))
+	}
+	for i, q := range ds.Queries {
+		if q.ID != i {
+			t.Errorf("ID %d != index %d", q.ID, i)
+		}
+		if q.Plan == nil || q.AST == nil || q.SQL == "" {
+			t.Errorf("query %d incomplete", i)
+		}
+		if q.Metrics.ElapsedSec <= 0 {
+			t.Errorf("query %d has nonpositive elapsed time", i)
+		}
+		if q.Category != workload.Categorize(q.Metrics.ElapsedSec) {
+			t.Errorf("query %d category mismatch", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallDataset(t, 24)
+	b := smallDataset(t, 24)
+	for i := range a.Queries {
+		if a.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatal("same seed must generate the same SQL")
+		}
+		if a.Queries[i].Metrics != b.Queries[i].Metrics {
+			t.Fatal("same seed must produce the same metrics")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	base := GenConfig{Seed: 1, Machine: exec.Research4(), Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates()}
+
+	cfg := base
+	cfg.Count = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("count=0 accepted")
+	}
+	cfg = base
+	cfg.Count = 5
+	cfg.Templates = nil
+	if _, err := Generate(cfg); err == nil {
+		t.Error("no templates accepted")
+	}
+	cfg = base
+	cfg.Count = 5
+	cfg.Schema = nil
+	if _, err := Generate(cfg); err == nil {
+		t.Error("nil schema accepted")
+	}
+}
+
+func TestByCategoryAndCounts(t *testing.T) {
+	ds := smallDataset(t, 96)
+	byCat := ds.ByCategory()
+	counts := ds.CategoryCounts()
+	total := 0
+	for c, qs := range byCat {
+		if counts[c] != len(qs) {
+			t.Errorf("count mismatch for %v", c)
+		}
+		total += len(qs)
+	}
+	if total != 96 {
+		t.Errorf("total = %d", total)
+	}
+	if counts[workload.Feather] == 0 {
+		t.Error("expected some feathers")
+	}
+}
+
+func TestSampleMixAndSplit(t *testing.T) {
+	ds := smallDataset(t, 240)
+	r := statutil.NewRNG(2, "mix")
+	counts := ds.CategoryCounts()
+	if counts[workload.GolfBall] < 3 {
+		t.Skip("pool too small for mix test")
+	}
+	test, err := ds.SampleMix(r, 5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test) != 8 {
+		t.Fatalf("mix size = %d", len(test))
+	}
+	train := ds.Split(test)
+	if len(train) != 240-8 {
+		t.Fatalf("train size = %d", len(train))
+	}
+	inTest := map[int]bool{}
+	for _, q := range test {
+		inTest[q.ID] = true
+	}
+	for _, q := range train {
+		if inTest[q.ID] {
+			t.Fatal("train/test overlap")
+		}
+	}
+	// Impossible mixes error.
+	if _, err := ds.SampleMix(r, 100000, 0, 0); err == nil {
+		t.Error("oversized mix accepted")
+	}
+}
+
+func TestReExecuteChangesMachine(t *testing.T) {
+	ds := smallDataset(t, 24)
+	big, err := ReExecute(ds, catalog.TPCDS(1), 1, exec.Production32(32), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Queries) != len(ds.Queries) {
+		t.Fatal("query count changed")
+	}
+	faster := 0
+	for i := range big.Queries {
+		if big.Queries[i].SQL != ds.Queries[i].SQL {
+			t.Fatal("SQL must be preserved")
+		}
+		if big.Queries[i].Metrics.ElapsedSec < ds.Queries[i].Metrics.ElapsedSec {
+			faster++
+		}
+	}
+	// The 32-processor machine should be faster for most queries.
+	if faster < len(big.Queries)*2/3 {
+		t.Errorf("only %d/%d queries faster on 32 cpus", faster, len(big.Queries))
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := smallDataset(t, 24)
+	sub := ds.Subset(ds.Queries[:5])
+	if len(sub.Queries) != 5 || sub.SchemaName != ds.SchemaName {
+		t.Error("subset wrong")
+	}
+}
+
+// TestTemplateCategoryCalibration pins the workload calibration: the
+// textual-twin templates must always be feathers, and the problem
+// templates must actually produce long-running queries. If a change to the
+// simulator or estimator shifts these bands, the paper-mix sampling in the
+// experiments breaks — this test catches that early.
+func TestTemplateCategoryCalibration(t *testing.T) {
+	ds := smallDataset(t, 360)
+	cats := map[string]map[workload.Category]int{}
+	for _, q := range ds.Queries {
+		if cats[q.Template] == nil {
+			cats[q.Template] = map[workload.Category]int{}
+		}
+		cats[q.Template][q.Category]++
+	}
+	// The twins share text statistics with heavy templates but must stay
+	// sub-second feathers.
+	for _, twin := range []string{"floorspace_check", "page_returns_profile"} {
+		for cat := range cats[twin] {
+			if cat != workload.Feather {
+				t.Errorf("twin %s produced a %v", twin, cat)
+			}
+		}
+	}
+	// Problem templates must reach beyond feathers somewhere in the pool.
+	heavyReached := 0
+	for tpl, byCat := range cats {
+		if len(tpl) > 3 && tpl[:3] == "pb_" {
+			for cat := range byCat {
+				if cat != workload.Feather {
+					heavyReached++
+					break
+				}
+			}
+		}
+	}
+	if heavyReached < 5 {
+		t.Errorf("only %d problem templates produced long-running queries", heavyReached)
+	}
+	// Benchmark-class templates must supply a healthy feather pool.
+	feathers := 0
+	for _, q := range ds.Queries {
+		if q.Class == "tpcds" && q.Category == workload.Feather {
+			feathers++
+		}
+	}
+	if feathers < 150 {
+		t.Errorf("feather pool too small: %d", feathers)
+	}
+}

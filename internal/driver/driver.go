@@ -1,0 +1,210 @@
+// Package driver implements the paper's workload-management use case
+// (Sec. I: "Should we run this query? If so, when? How long do we wait for
+// it to complete before deciding that something went wrong?") as a small
+// admission-control framework plus a queueing simulator.
+//
+// A Policy inspects an arriving query — for the predictive policy, only
+// its pre-execution prediction — and routes it to the interactive queue,
+// the batch queue, or rejection, together with a kill timeout. The
+// simulator then runs the arrival stream through two FIFO queues and
+// reports latency, throughput, and the work wasted by kills.
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Decision routes one arriving query.
+type Decision int
+
+const (
+	// Interactive admits the query to the latency-sensitive queue.
+	Interactive Decision = iota
+	// Batch defers the query to the throughput queue.
+	Batch
+	// Reject refuses the query outright.
+	Reject
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Policy decides, before execution, where a query runs and how long to
+// wait before killing it (0 = no kill timeout).
+type Policy interface {
+	Name() string
+	Decide(q *dataset.Query) (Decision, float64)
+}
+
+// BlindPolicy admits everything to the interactive queue with one fixed
+// kill timeout — the no-prediction baseline.
+type BlindPolicy struct {
+	// KillAfterSec is the fixed timeout (0 disables kills).
+	KillAfterSec float64
+}
+
+func (p BlindPolicy) Name() string { return "blind" }
+
+// Decide implements Policy.
+func (p BlindPolicy) Decide(*dataset.Query) (Decision, float64) {
+	return Interactive, p.KillAfterSec
+}
+
+// OraclePolicy routes on the query's true elapsed time — the unreachable
+// upper bound.
+type OraclePolicy struct {
+	InteractiveLimitSec float64
+	// RejectBeyondSec rejects queries longer than this (0 disables).
+	RejectBeyondSec float64
+}
+
+func (p OraclePolicy) Name() string { return "oracle" }
+
+// Decide implements Policy.
+func (p OraclePolicy) Decide(q *dataset.Query) (Decision, float64) {
+	actual := q.Metrics.ElapsedSec
+	if p.RejectBeyondSec > 0 && actual > p.RejectBeyondSec {
+		return Reject, 0
+	}
+	if actual <= p.InteractiveLimitSec {
+		return Interactive, 0
+	}
+	return Batch, 0
+}
+
+// PredictivePolicy routes on the KCCA prediction: queries predicted to
+// exceed the interactive limit go to the batch queue; queries predicted
+// beyond RejectBeyondSec (or whose prediction confidence is below
+// MinConfidence) are handled conservatively; each admitted query gets a
+// kill timeout of Headroom times its own prediction.
+type PredictivePolicy struct {
+	Predictor           *core.Predictor
+	InteractiveLimitSec float64
+	// Headroom multiplies the prediction into a kill timeout.
+	Headroom float64
+	// MinTimeoutSec floors the kill timeout.
+	MinTimeoutSec float64
+	// RejectBeyondSec rejects queries predicted longer than this
+	// (0 disables rejection).
+	RejectBeyondSec float64
+	// MinConfidence sends low-confidence predictions to the batch queue
+	// regardless of their predicted time (anomalous queries should not
+	// hold an interactive slot on an untrusted promise).
+	MinConfidence float64
+}
+
+func (p PredictivePolicy) Name() string { return "predictive" }
+
+// Decide implements Policy.
+func (p PredictivePolicy) Decide(q *dataset.Query) (Decision, float64) {
+	pred, err := p.Predictor.PredictQuery(q)
+	if err != nil {
+		// Unpredictable queries are handled conservatively.
+		return Batch, 0
+	}
+	predicted := pred.Metrics.ElapsedSec
+	if p.RejectBeyondSec > 0 && predicted > p.RejectBeyondSec {
+		return Reject, 0
+	}
+	if pred.Confidence < p.MinConfidence {
+		return Batch, 0
+	}
+	if predicted > p.InteractiveLimitSec {
+		return Batch, 0
+	}
+	timeout := p.Headroom * predicted
+	if timeout < p.MinTimeoutSec {
+		timeout = p.MinTimeoutSec
+	}
+	return Interactive, timeout
+}
+
+// Outcome summarizes a simulated run of one policy over a stream.
+type Outcome struct {
+	Policy string
+
+	Interactive int
+	Batch       int
+	Rejected    int
+	Killed      int
+
+	// WastedSec is work discarded by kills.
+	WastedSec float64
+	// MeanInteractiveLatencySec is the average wait + run time of queries
+	// completed in the interactive queue.
+	MeanInteractiveLatencySec float64
+	// InteractiveBusySec and BatchBusySec are the queues' total busy time.
+	InteractiveBusySec float64
+	BatchBusySec       float64
+}
+
+// Simulate pushes the arrival stream (all arriving at once, processed
+// FIFO) through the policy and a two-queue serial execution model.
+func Simulate(stream []*dataset.Query, p Policy) (Outcome, error) {
+	if len(stream) == 0 {
+		return Outcome{}, errors.New("driver: empty stream")
+	}
+	if p == nil {
+		return Outcome{}, errors.New("driver: nil policy")
+	}
+	out := Outcome{Policy: p.Name()}
+	var interactiveClock float64
+	var latencySum float64
+	completedInteractive := 0
+	for _, q := range stream {
+		decision, timeout := p.Decide(q)
+		actual := q.Metrics.ElapsedSec
+		switch decision {
+		case Reject:
+			out.Rejected++
+		case Batch:
+			out.Batch++
+			out.BatchBusySec += actual
+		case Interactive:
+			if timeout > 0 && actual > timeout {
+				// The query is killed after `timeout` seconds of work; all
+				// of it is wasted and the queue was blocked meanwhile.
+				out.Killed++
+				out.WastedSec += timeout
+				interactiveClock += timeout
+				continue
+			}
+			out.Interactive++
+			interactiveClock += actual
+			latencySum += interactiveClock // wait-in-queue + own runtime
+			completedInteractive++
+		}
+	}
+	out.InteractiveBusySec = interactiveClock
+	if completedInteractive > 0 {
+		out.MeanInteractiveLatencySec = latencySum / float64(completedInteractive)
+	}
+	return out, nil
+}
+
+// Compare runs several policies over the same stream.
+func Compare(stream []*dataset.Query, policies ...Policy) ([]Outcome, error) {
+	outcomes := make([]Outcome, 0, len(policies))
+	for _, p := range policies {
+		o, err := Simulate(stream, p)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}

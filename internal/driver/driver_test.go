@@ -1,0 +1,196 @@
+package driver
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+type fixture struct {
+	stream    []*dataset.Query
+	predictor *core.Predictor
+}
+
+var cached *fixture
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	pool, err := dataset.Generate(dataset.GenConfig{
+		Seed: 31, DataSeed: 2, Machine: exec.Research4(),
+		Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: 560,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := statutil.NewRNG(1, "driverstream")
+	idx := r.SampleInts(len(pool.Queries), 120)
+	inStream := map[int]bool{}
+	var stream []*dataset.Query
+	for _, i := range idx {
+		stream = append(stream, pool.Queries[i])
+		inStream[i] = true
+	}
+	var train []*dataset.Query
+	for i, q := range pool.Queries {
+		if !inStream[i] {
+			train = append(train, q)
+		}
+	}
+	p, err := core.Train(train, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{stream: stream, predictor: p}
+	return cached
+}
+
+func TestBlindPolicyKillsLongQueries(t *testing.T) {
+	f := setup(t)
+	out, err := Simulate(f.stream, BlindPolicy{KillAfterSec: 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := 0
+	for _, q := range f.stream {
+		if q.Metrics.ElapsedSec > 180 {
+			long++
+		}
+	}
+	if out.Killed != long {
+		t.Errorf("kills = %d, want every long query (%d)", out.Killed, long)
+	}
+	if out.WastedSec != float64(long)*180 {
+		t.Errorf("wasted = %v, want %v", out.WastedSec, float64(long)*180)
+	}
+	if out.Interactive+out.Killed != len(f.stream) {
+		t.Errorf("blind policy must admit everything: %+v", out)
+	}
+}
+
+func TestPredictivePolicyReducesWaste(t *testing.T) {
+	f := setup(t)
+	blind, err := Simulate(f.stream, BlindPolicy{KillAfterSec: 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Simulate(f.stream, PredictivePolicy{
+		Predictor:           f.predictor,
+		InteractiveLimitSec: 180,
+		Headroom:            3,
+		MinTimeoutSec:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.WastedSec >= blind.WastedSec/2 {
+		t.Errorf("predictive waste (%v) should be far below blind (%v)", pred.WastedSec, blind.WastedSec)
+	}
+	if pred.MeanInteractiveLatencySec >= blind.MeanInteractiveLatencySec {
+		t.Errorf("predictive latency (%v) should beat blind (%v)",
+			pred.MeanInteractiveLatencySec, blind.MeanInteractiveLatencySec)
+	}
+	if pred.Batch == 0 {
+		t.Error("predictive policy should divert long queries to batch")
+	}
+}
+
+func TestOraclePolicyNeverKills(t *testing.T) {
+	f := setup(t)
+	out, err := Simulate(f.stream, OraclePolicy{InteractiveLimitSec: 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Killed != 0 || out.WastedSec != 0 {
+		t.Errorf("oracle should never kill: %+v", out)
+	}
+	if out.Interactive+out.Batch != len(f.stream) {
+		t.Errorf("oracle without rejection must run everything: %+v", out)
+	}
+}
+
+func TestRejection(t *testing.T) {
+	f := setup(t)
+	oracle, err := Simulate(f.stream, OraclePolicy{InteractiveLimitSec: 180, RejectBeyondSec: 7200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrecking := 0
+	for _, q := range f.stream {
+		if q.Metrics.ElapsedSec > 7200 {
+			wrecking++
+		}
+	}
+	if oracle.Rejected != wrecking {
+		t.Errorf("oracle rejections = %d, want %d", oracle.Rejected, wrecking)
+	}
+	pred, err := Simulate(f.stream, PredictivePolicy{
+		Predictor:           f.predictor,
+		InteractiveLimitSec: 180,
+		Headroom:            3,
+		RejectBeyondSec:     7200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrecking > 0 && pred.Rejected == 0 {
+		t.Error("predictive policy should reject predicted wrecking balls")
+	}
+}
+
+func TestConfidenceGating(t *testing.T) {
+	f := setup(t)
+	// An absurdly high confidence bar sends everything to batch.
+	out, err := Simulate(f.stream, PredictivePolicy{
+		Predictor:           f.predictor,
+		InteractiveLimitSec: 180,
+		Headroom:            3,
+		MinConfidence:       2, // impossible
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Interactive != 0 {
+		t.Errorf("impossible confidence bar admitted %d queries", out.Interactive)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	f := setup(t)
+	if _, err := Simulate(nil, BlindPolicy{}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Simulate(f.stream, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	f := setup(t)
+	outs, err := Compare(f.stream,
+		BlindPolicy{KillAfterSec: 180},
+		OraclePolicy{InteractiveLimitSec: 180},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs[0].Policy != "blind" || outs[1].Policy != "oracle" {
+		t.Errorf("outcomes wrong: %+v", outs)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Interactive.String() != "interactive" || Batch.String() != "batch" || Reject.String() != "reject" {
+		t.Error("decision names wrong")
+	}
+	if Decision(9).String() == "" {
+		t.Error("unknown decision must render")
+	}
+}

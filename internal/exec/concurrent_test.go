@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/statutil"
+)
+
+func TestConcurrentSingleQuery(t *testing.T) {
+	out, err := SimulateConcurrent([]float64{5}, []float64{10}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Start[0] != 5 || math.Abs(out.Completion[0]-15) > 1e-9 {
+		t.Errorf("single query: start %v completion %v", out.Start[0], out.Completion[0])
+	}
+	if out.Makespan != out.Completion[0] || out.MaxRunning != 1 {
+		t.Errorf("outcome wrong: %+v", out)
+	}
+}
+
+func TestConcurrentNoInterference(t *testing.T) {
+	// interference 0: simultaneous queries do not slow each other.
+	out, err := SimulateConcurrent([]float64{0, 0, 0}, []float64{10, 20, 30}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 20, 30}
+	for i, w := range want {
+		if math.Abs(out.Completion[i]-w) > 1e-9 {
+			t.Errorf("completion %d = %v, want %v", i, out.Completion[i], w)
+		}
+	}
+	if out.MaxRunning != 3 {
+		t.Errorf("max running = %d", out.MaxRunning)
+	}
+}
+
+func TestConcurrentFullInterference(t *testing.T) {
+	// interference 1 is classic processor sharing: two identical queries
+	// starting together each finish at 2x their solo time.
+	out, err := SimulateConcurrent([]float64{0, 0}, []float64{10, 10}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(out.Completion[i]-20) > 1e-9 {
+			t.Errorf("completion %d = %v, want 20", i, out.Completion[i])
+		}
+	}
+}
+
+func TestConcurrentSerializedByOneSlot(t *testing.T) {
+	out, err := SimulateConcurrent([]float64{0, 0, 0}, []float64{5, 7, 3}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO in arrival order: completions at 5, 12, 15.
+	want := []float64{5, 12, 15}
+	for i, w := range want {
+		if math.Abs(out.Completion[i]-w) > 1e-9 {
+			t.Errorf("completion %d = %v, want %v", i, out.Completion[i], w)
+		}
+	}
+	if out.MaxRunning != 1 {
+		t.Errorf("max running = %d, want 1", out.MaxRunning)
+	}
+}
+
+func TestConcurrentStaggeredArrivals(t *testing.T) {
+	// Query B arrives while A runs under full interference.
+	// A: work 10, alone on [0,5) does 5 work; then shares. B: work 10.
+	// From t=5 both run at rate 1/2: A finishes its remaining 5 at t=15;
+	// B then runs alone, remaining 10-5=5 at rate 1 -> t=20.
+	out, err := SimulateConcurrent([]float64{0, 5}, []float64{10, 10}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Completion[0]-15) > 1e-9 || math.Abs(out.Completion[1]-20) > 1e-9 {
+		t.Errorf("completions = %v, want [15 20]", out.Completion)
+	}
+}
+
+func TestConcurrentErrors(t *testing.T) {
+	if _, err := SimulateConcurrent(nil, nil, 0, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := SimulateConcurrent([]float64{0}, []float64{1, 2}, 0, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SimulateConcurrent([]float64{0}, []float64{0}, 0, 1); err == nil {
+		t.Error("zero solo time accepted")
+	}
+	if _, err := SimulateConcurrent([]float64{-1}, []float64{1}, 0, 1); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, err := SimulateConcurrent([]float64{0}, []float64{1}, 0, 2); err == nil {
+		t.Error("interference > 1 accepted")
+	}
+}
+
+func TestConcurrentProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := statutil.NewRNG(seed, "concprop")
+		n := r.IntBetween(1, 12)
+		arrivals := make([]float64, n)
+		solos := make([]float64, n)
+		for i := 0; i < n; i++ {
+			arrivals[i] = r.Uniform(0, 50)
+			solos[i] = r.Uniform(0.1, 30)
+		}
+		slots := r.IntBetween(0, 4)
+		alpha := r.Uniform(0, 1)
+		out, err := SimulateConcurrent(arrivals, solos, slots, alpha)
+		if err != nil {
+			return false
+		}
+		totalWork := 0.0
+		for i := 0; i < n; i++ {
+			// No query finishes before arrival + its solo runtime, and all
+			// queries finish.
+			if out.Completion[i] < arrivals[i]+solos[i]-1e-9 {
+				return false
+			}
+			if out.Start[i] < arrivals[i]-1e-9 {
+				return false
+			}
+			if out.Completion[i] > out.Makespan+1e-9 {
+				return false
+			}
+			totalWork += solos[i]
+		}
+		// Makespan is bounded by fully serialized execution after the last
+		// arrival.
+		lastArrival := 0.0
+		for _, a := range arrivals {
+			lastArrival = math.Max(lastArrival, a)
+		}
+		limit := lastArrival + totalWork*math.Pow(float64(n), 1)
+		return out.Makespan <= limit+1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMoreInterferenceSlower(t *testing.T) {
+	arrivals := []float64{0, 1, 2, 3}
+	solos := []float64{5, 6, 7, 8}
+	low, err := SimulateConcurrent(arrivals, solos, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SimulateConcurrent(arrivals, solos, 0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Makespan <= low.Makespan {
+		t.Errorf("higher interference should lengthen the makespan: %v vs %v",
+			high.Makespan, low.Makespan)
+	}
+}

@@ -1,0 +1,161 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/statutil"
+)
+
+var schema = catalog.TPCDS(1)
+
+func planFor(t *testing.T, sql string, m Machine) *optimizer.Plan {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := optimizer.BuildPlan(q, schema, 11, optimizer.DefaultConfig(m.Processors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExecuteBasicMetrics(t *testing.T) {
+	m := Research4()
+	p := planFor(t, "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 50", m)
+	met := Execute(p, m, nil)
+	if met.ElapsedSec <= 0 {
+		t.Errorf("elapsed = %v", met.ElapsedSec)
+	}
+	if met.RecordsAccessed != 2880404 {
+		t.Errorf("records accessed = %v, want full scan", met.RecordsAccessed)
+	}
+	if met.RecordsUsed <= 0 || met.RecordsUsed > met.RecordsAccessed {
+		t.Errorf("records used = %v", met.RecordsUsed)
+	}
+	// store_sales does not fit in the research system's buffer pool.
+	if met.DiskIOs <= 0 {
+		t.Errorf("expected disk I/O on the small-memory system, got %v", met.DiskIOs)
+	}
+	if met.MessageCount <= 0 || met.MessageBytes <= 0 {
+		t.Errorf("messages = %v / %v bytes", met.MessageCount, met.MessageBytes)
+	}
+}
+
+func TestExecuteDeterministicWithoutNoise(t *testing.T) {
+	m := Research4()
+	p := planFor(t, "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk", m)
+	a := Execute(p, m, nil)
+	b := Execute(p, m, nil)
+	if a != b {
+		t.Errorf("noiseless execution must be deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestExecuteNoiseOnlyAffectsElapsed(t *testing.T) {
+	m := Research4()
+	p := planFor(t, "SELECT COUNT(*) FROM store_sales", m)
+	a := Execute(p, m, statutil.NewRNG(1, "noise"))
+	b := Execute(p, m, statutil.NewRNG(2, "noise"))
+	if a.ElapsedSec == b.ElapsedSec {
+		t.Error("noise should perturb elapsed time")
+	}
+	a.ElapsedSec, b.ElapsedSec = 0, 0
+	if a != b {
+		t.Errorf("non-elapsed metrics must be noise-free: %v vs %v", a, b)
+	}
+}
+
+func TestMoreProcessorsFaster(t *testing.T) {
+	sql := "SELECT COUNT(*) FROM store_sales, store_returns WHERE ss_ticket_number = sr_ticket_number"
+	m4, m32 := Production32(4), Production32(32)
+	t4 := Execute(planFor(t, sql, m4), m4, nil)
+	t32 := Execute(planFor(t, sql, m32), m32, nil)
+	if t32.ElapsedSec >= t4.ElapsedSec {
+		t.Errorf("32 cpus (%vs) should beat 4 cpus (%vs)", t32.ElapsedSec, t4.ElapsedSec)
+	}
+}
+
+func TestLargeMemoryConfigDoesNoIO(t *testing.T) {
+	sql := "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 50"
+	small, large := Production32(4), Production32(32)
+	ioSmall := Execute(planFor(t, sql, small), small, nil).DiskIOs
+	ioLarge := Execute(planFor(t, sql, large), large, nil).DiskIOs
+	if ioLarge != 0 {
+		t.Errorf("32-cpu config should cache everything, got %v I/Os", ioLarge)
+	}
+	if ioSmall <= 0 {
+		t.Errorf("4-cpu config should do I/O, got %v", ioSmall)
+	}
+}
+
+func TestPairwiseJoinMuchSlowerThanProbe(t *testing.T) {
+	m := Research4()
+	probe := planFor(t, "SELECT COUNT(*) FROM store_sales, store WHERE ss_store_sk = s_store_sk", m)
+	pair := planFor(t, "SELECT COUNT(*) FROM store_sales, store_returns WHERE ss_ticket_number <= sr_ticket_number", m)
+	tp := Execute(probe, m, nil).ElapsedSec
+	tq := Execute(pair, m, nil).ElapsedSec
+	if tq < 100*tp {
+		t.Errorf("pairwise join (%vs) should dwarf probe join (%vs)", tq, tp)
+	}
+}
+
+func TestRuntimeSpreadCoversPaperCategories(t *testing.T) {
+	// The simulator must produce both sub-second queries and multi-hour
+	// queries on the research system, like the paper's feathers and
+	// (w)recking balls.
+	m := Research4()
+	fast := Execute(planFor(t, "SELECT COUNT(*) FROM store", m), m, nil).ElapsedSec
+	slow := Execute(planFor(t, "SELECT COUNT(*) FROM store_sales, inventory WHERE ss_sold_date_sk <= inv_date_sk", m), m, nil).ElapsedSec
+	if fast > 1 {
+		t.Errorf("dimension count should be sub-second, got %v", fast)
+	}
+	if slow < 1800 {
+		t.Errorf("fact-fact inequality join should exceed 30 minutes, got %vs", slow)
+	}
+}
+
+func TestMetricsVectorRoundTrip(t *testing.T) {
+	m := Metrics{ElapsedSec: 1, RecordsAccessed: 2, RecordsUsed: 3, DiskIOs: 4, MessageCount: 5, MessageBytes: 6}
+	v := m.Vector()
+	if len(v) != NumMetrics || len(MetricNames) != NumMetrics {
+		t.Fatalf("vector size wrong: %d", len(v))
+	}
+	if got := MetricsFromVector(v); got != m {
+		t.Errorf("round trip failed: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MetricsFromVector should panic on wrong length")
+		}
+	}()
+	MetricsFromVector([]float64{1, 2})
+}
+
+func TestMachineConfigs(t *testing.T) {
+	r := Research4()
+	if r.Processors != 4 || r.Disks != 4 {
+		t.Errorf("research config wrong: %+v", r)
+	}
+	p := Production32(8)
+	if p.Processors != 8 || p.Disks != 32 {
+		t.Errorf("prod config wrong: %+v", p)
+	}
+	if Production32(0).Processors != 32 || Production32(99).Processors != 32 {
+		t.Error("out-of-range processors should default to 32")
+	}
+	if r.BufferPoolBytes() <= 0 {
+		t.Error("buffer pool must be positive")
+	}
+	if r.String() == "" || (Metrics{}).String() == "" {
+		t.Error("String methods broken")
+	}
+	if math.IsNaN(DefaultCosts().ScanPerRow) {
+		t.Error("sanity")
+	}
+}

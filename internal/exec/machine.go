@@ -1,0 +1,131 @@
+// Package exec simulates executing physical query plans on a
+// shared-nothing parallel database machine — the substitute for the paper's
+// HP Neoview systems. Given a plan annotated with true cardinalities (from
+// the optimizer package's full statistical model) and a machine
+// configuration, it produces the six performance metrics the paper
+// predicts: elapsed time, records accessed, records used, disk I/Os,
+// message count, and message bytes.
+//
+// The runtime model captures the mechanisms that make prediction hard for
+// the paper's baselines and possible for KCCA: per-operator costs that are
+// nonlinear in the feature-vector quantities (pairwise nested joins,
+// n·log n sorts), buffer-pool-dependent disk I/O (large-memory
+// configurations do no I/O at all, reproducing the Null rows of Fig. 16),
+// exchange-generated message traffic, and multiplicative measurement noise.
+package exec
+
+import "fmt"
+
+// Machine describes one database system configuration.
+type Machine struct {
+	// Name identifies the configuration in reports.
+	Name string
+	// Processors is the number of CPUs used for query processing.
+	Processors int
+	// Disks is the number of disks the data is partitioned across. On the
+	// production system data stays partitioned across all 32 disks even
+	// when fewer processors are used, exactly as in the paper.
+	Disks int
+	// MemPerCPUMB is the memory allotted per CPU in megabytes; half of the
+	// total is available to the buffer pool.
+	MemPerCPUMB int
+
+	// Hardware cost constants. Zero values select defaults (see
+	// DefaultCosts).
+	Costs Costs
+}
+
+// Costs holds the per-operation hardware constants of the runtime model.
+type Costs struct {
+	// CPU seconds per row (or per pair for pairwise joins).
+	ScanPerRow    float64
+	ProbePerRow   float64 // keyed nested-join probe of a broadcast inner
+	PairPerPair   float64 // pairwise nested-join comparison
+	HashPerRow    float64 // hash join build+probe
+	SortPerRowLog float64 // multiplied by log2(n)
+	AggPerRow     float64
+	MovePerRow    float64 // CPU cost of sending/receiving one row
+
+	// Disk.
+	PageSizeKB     int
+	DiskMBPerSec   float64 // per-disk sequential bandwidth
+	SpillMemFrac   float64 // fraction of per-CPU memory a sort may use
+	BufferPoolFrac float64 // fraction of total memory usable as cache
+
+	// Network.
+	NetMBPerSec    float64 // per-processor interconnect bandwidth
+	RowsPerMessage int
+	MsgOverheadSec float64 // per-message fixed cost
+
+	// Fixed query startup in seconds, plus per-processor component.
+	StartupSec     float64
+	StartupPerProc float64
+
+	// NoiseSigma is the log-space standard deviation of the multiplicative
+	// elapsed-time measurement noise.
+	NoiseSigma float64
+}
+
+// DefaultCosts returns the calibrated hardware constants used throughout
+// the reproduction.
+func DefaultCosts() Costs {
+	return Costs{
+		ScanPerRow:    1.2e-6,
+		ProbePerRow:   3.0e-6,
+		PairPerPair:   1.6e-9,
+		HashPerRow:    3.5e-6,
+		SortPerRowLog: 6.0e-7,
+		AggPerRow:     2.0e-6,
+		MovePerRow:    1.0e-6,
+
+		PageSizeKB:     64,
+		DiskMBPerSec:   55,
+		SpillMemFrac:   0.3,
+		BufferPoolFrac: 0.5,
+
+		NetMBPerSec:    40,
+		RowsPerMessage: 500,
+		MsgOverheadSec: 4e-5,
+
+		StartupSec:     0.05,
+		StartupPerProc: 0.002,
+
+		NoiseSigma: 0.06,
+	}
+}
+
+func (m Machine) costs() Costs {
+	c := m.Costs
+	d := DefaultCosts()
+	if c.ScanPerRow == 0 {
+		c = d
+	}
+	return c
+}
+
+// BufferPoolBytes is the memory available for caching table data.
+func (m Machine) BufferPoolBytes() float64 {
+	c := m.costs()
+	return float64(m.Processors) * float64(m.MemPerCPUMB) * 1e6 * c.BufferPoolFrac
+}
+
+func (m Machine) String() string {
+	return fmt.Sprintf("%s (%d cpus, %d disks, %d MB/cpu)", m.Name, m.Processors, m.Disks, m.MemPerCPUMB)
+}
+
+// Research4 returns the paper's research system: a four-processor machine
+// with one disk per CPU and data partitioned across all four disks.
+func Research4() Machine {
+	return Machine{Name: "research-4", Processors: 4, Disks: 4, MemPerCPUMB: 128}
+}
+
+// Production32 returns a configuration of the paper's 32-node production
+// system using p of the 32 processors. Data stays partitioned across all
+// 32 disks regardless of p, and memory grows proportionally with the
+// processors used — which is why larger configurations do no disk I/O.
+func Production32(p int) Machine {
+	if p <= 0 || p > 32 {
+		p = 32
+	}
+	return Machine{Name: fmt.Sprintf("prod32-%dcpu", p), Processors: p, Disks: 32, MemPerCPUMB: 160}
+}

@@ -1,0 +1,77 @@
+package exec
+
+import "fmt"
+
+// MetricNames lists the six performance metrics in feature-vector order,
+// matching Sec. VI-D of the paper.
+var MetricNames = []string{
+	"elapsed_time",
+	"records_accessed",
+	"records_used",
+	"disk_ios",
+	"message_count",
+	"message_bytes",
+}
+
+// NumMetrics is the dimensionality of the performance feature vector.
+const NumMetrics = 6
+
+// Indexes into Metrics.Vector().
+const (
+	MetricElapsed = iota
+	MetricRecordsAccessed
+	MetricRecordsUsed
+	MetricDiskIOs
+	MetricMessageCount
+	MetricMessageBytes
+)
+
+// Metrics is the measured performance of one query execution.
+type Metrics struct {
+	// ElapsedSec is wall-clock time in seconds.
+	ElapsedSec float64
+	// RecordsAccessed is the total input cardinality of the file scan
+	// operators.
+	RecordsAccessed float64
+	// RecordsUsed is the total output cardinality of the file scan
+	// operators.
+	RecordsUsed float64
+	// DiskIOs is the number of disk page reads and writes.
+	DiskIOs float64
+	// MessageCount and MessageBytes measure interconnect traffic.
+	MessageCount float64
+	MessageBytes float64
+}
+
+// Vector returns the metrics as a performance feature vector.
+func (m Metrics) Vector() []float64 {
+	return []float64{
+		m.ElapsedSec,
+		m.RecordsAccessed,
+		m.RecordsUsed,
+		m.DiskIOs,
+		m.MessageCount,
+		m.MessageBytes,
+	}
+}
+
+// MetricsFromVector reverses Vector.
+func MetricsFromVector(v []float64) Metrics {
+	if len(v) != NumMetrics {
+		panic(fmt.Sprintf("exec: metrics vector has %d elements, want %d", len(v), NumMetrics))
+	}
+	return Metrics{
+		ElapsedSec:      v[0],
+		RecordsAccessed: v[1],
+		RecordsUsed:     v[2],
+		DiskIOs:         v[3],
+		MessageCount:    v[4],
+		MessageBytes:    v[5],
+	}
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("elapsed=%.3fs accessed=%.0f used=%.0f ios=%.0f msgs=%.0f msgbytes=%.0f",
+		m.ElapsedSec, m.RecordsAccessed, m.RecordsUsed, m.DiskIOs, m.MessageCount, m.MessageBytes)
+}

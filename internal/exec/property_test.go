@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqlgen"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+// TestPipelinePropertyInvariants drives randomized template instances
+// through the full plan-and-execute pipeline and checks the invariants any
+// real system would guarantee.
+func TestPipelinePropertyInvariants(t *testing.T) {
+	templates := workload.TPCDSTemplates()
+	machines := []Machine{Research4(), Production32(4), Production32(32)}
+
+	prop := func(seed int64, tplIdx, mIdx uint8) bool {
+		tpl := templates[int(tplIdx)%len(templates)]
+		m := machines[int(mIdx)%len(machines)]
+		r := statutil.NewRNG(seed, "prop:"+tpl.Name)
+		q := tpl.Gen(r)
+		plan, err := optimizer.BuildPlan(q, schema, seed%5, optimizer.DefaultConfig(m.Processors))
+		if err != nil {
+			t.Logf("plan error for %s: %v", tpl.Name, err)
+			return false
+		}
+		if err := plan.Validate(); err != nil {
+			t.Logf("invalid plan for %s: %v", tpl.Name, err)
+			return false
+		}
+		if plan.Cost <= 0 {
+			t.Logf("nonpositive cost for %s", tpl.Name)
+			return false
+		}
+		// Scans never output more than they read, on both models.
+		ok := true
+		plan.Root.Walk(func(n *optimizer.Node) {
+			if n.Op == optimizer.OpFileScan {
+				if n.EstRows > n.EstRowsIn || n.ActRows > n.ActRowsIn {
+					ok = false
+				}
+			}
+		})
+		if !ok {
+			t.Logf("scan output exceeds input for %s", tpl.Name)
+			return false
+		}
+		met := Execute(plan, m, nil)
+		if met.ElapsedSec <= 0 {
+			t.Logf("nonpositive elapsed for %s", tpl.Name)
+			return false
+		}
+		if met.RecordsUsed > met.RecordsAccessed {
+			t.Logf("records used > accessed for %s", tpl.Name)
+			return false
+		}
+		for _, v := range met.Vector() {
+			if v < 0 {
+				t.Logf("negative metric for %s: %v", tpl.Name, met)
+				return false
+			}
+		}
+		// Determinism: same inputs, same outputs.
+		if again := Execute(plan, m, nil); again != met {
+			t.Logf("nondeterministic execution for %s", tpl.Name)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreMemoryNeverMoreIO checks the buffer-pool monotonicity the
+// Fig. 16 Null pattern depends on: growing the pool can only reduce I/O.
+func TestMoreMemoryNeverMoreIO(t *testing.T) {
+	templates := workload.TPCDSTemplates()
+	prop := func(seed int64, tplIdx uint8) bool {
+		tpl := templates[int(tplIdx)%len(templates)]
+		r := statutil.NewRNG(seed, "memprop:"+tpl.Name)
+		q := tpl.Gen(r)
+		small := Machine{Name: "small", Processors: 4, Disks: 4, MemPerCPUMB: 64}
+		big := Machine{Name: "big", Processors: 4, Disks: 4, MemPerCPUMB: 4096}
+		plan, err := optimizer.BuildPlan(q, schema, 1, optimizer.DefaultConfig(4))
+		if err != nil {
+			return false
+		}
+		ioSmall := Execute(plan, small, nil).DiskIOs
+		ioBig := Execute(plan, big, nil).DiskIOs
+		return ioBig <= ioSmall
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreProcessorsRarelySlower checks near-monotone scaling: using more
+// processors of the production system should not make queries
+// meaningfully slower. Sub-second queries are allowed a small absolute
+// regression — startup and broadcast-replication overheads grow with the
+// processor count, which is exactly why the paper's production system
+// showed no benefit for short queries.
+func TestMoreProcessorsRarelySlower(t *testing.T) {
+	templates := workload.TPCDSTemplates()
+	prop := func(seed int64, tplIdx uint8) bool {
+		tpl := templates[int(tplIdx)%len(templates)]
+		r := statutil.NewRNG(seed, "scaleprop:"+tpl.Name)
+		q := tpl.Gen(r)
+		t8 := runOn(t, q, Production32(8), seed)
+		t32 := runOn(t, q, Production32(32), seed)
+		return t32 <= t8*1.10+1.0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func runOn(t *testing.T, q *sqlgen.Query, m Machine, seed int64) float64 {
+	t.Helper()
+	plan, err := optimizer.BuildPlan(q, schema, 1, optimizer.DefaultConfig(m.Processors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seed
+	return Execute(plan, m, nil).ElapsedSec
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+// CensusRow summarizes one query category (a row of the paper's Fig. 2).
+type CensusRow struct {
+	Category workload.Category
+	Count    int
+	MeanSec  float64
+	MinSec   float64
+	MaxSec   float64
+}
+
+// CensusResult is the Fig. 2 query census.
+type CensusResult struct {
+	Rows  []CensusRow
+	Total int
+}
+
+// QueryCensus reproduces Fig. 2: the pool of candidate queries categorized
+// by elapsed time on the 4-processor research system.
+func (l *Lab) QueryCensus() (*CensusResult, error) {
+	ds, err := l.ResearchPool()
+	if err != nil {
+		return nil, err
+	}
+	byCat := ds.ByCategory()
+	res := &CensusResult{Total: len(ds.Queries)}
+	for c := workload.Feather; c <= workload.WreckingBall; c++ {
+		qs := byCat[c]
+		if len(qs) == 0 {
+			continue
+		}
+		var times []float64
+		for _, q := range qs {
+			times = append(times, q.Metrics.ElapsedSec)
+		}
+		s := statutil.Summarize(times)
+		res.Rows = append(res.Rows, CensusRow{
+			Category: c, Count: len(qs),
+			MeanSec: s.Mean, MinSec: s.Min, MaxSec: s.Max,
+		})
+	}
+	return res, nil
+}
+
+// Report renders the census in the style of Fig. 2.
+func (r *CensusResult) Report() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Category.String(),
+			fmt.Sprintf("%d", row.Count),
+			fmtDuration(row.MeanSec),
+			fmtDuration(row.MinSec),
+			fmtDuration(row.MaxSec),
+		})
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 2 — query census (%d queries on the 4-cpu research system)\n", r.Total)
+	sb.WriteString(eval.Table([]string{"type", "count", "mean", "min", "max"}, rows))
+	return sb.String()
+}
+
+// fmtDuration renders seconds as hh:mm:ss like the paper's Fig. 2.
+func fmtDuration(sec float64) string {
+	s := int(sec + 0.5)
+	return fmt.Sprintf("%02d:%02d:%02d", s/3600, (s%3600)/60, s%60)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exec"
+)
+
+// ConfigRow is one configuration column of the paper's Fig. 16 table.
+type ConfigRow struct {
+	Processors int
+	Risk       [exec.NumMetrics]float64
+	// TotalDiskIOs over the test queries; zero means the configuration's
+	// memory held every table (the Null predictive-risk case).
+	TotalDiskIOs float64
+	MeanElapsed  float64
+}
+
+// ConfigSweepResult holds the Fig. 16 sweep over 4/8/16/32-processor
+// configurations of the 32-node production system.
+type ConfigSweepResult struct {
+	Rows []ConfigRow
+}
+
+// ConfigSweep reproduces Fig. 16: for each configuration of the 32-node
+// system, rerun the queries, train a model on 917 of them, and test on the
+// remaining 183. Disk-I/O predictive risk is Null on configurations with
+// enough memory to avoid I/O entirely.
+func (l *Lab) ConfigSweep() (*ConfigSweepResult, error) {
+	res := &ConfigSweepResult{}
+	for _, procs := range []int{4, 8, 16, 32} {
+		ds, err := l.ProdPool(procs)
+		if err != nil {
+			return nil, err
+		}
+		train, test := l.splitProd(ds)
+		p, err := core.Train(train, core.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d-cpu training: %w", procs, err)
+		}
+		pred, act, err := Evaluate(p, test)
+		if err != nil {
+			return nil, err
+		}
+		row := ConfigRow{Processors: procs}
+		for m := 0; m < exec.NumMetrics; m++ {
+			row.Risk[m] = eval.PredictiveRisk(pred[m], act[m])
+		}
+		for i := range test {
+			row.TotalDiskIOs += act[exec.MetricDiskIOs][i]
+			row.MeanElapsed += act[exec.MetricElapsed][i]
+		}
+		row.MeanElapsed /= float64(len(test))
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders the sweep in the Fig. 16 layout (metrics as rows,
+// configurations as columns).
+func (r *ConfigSweepResult) Report() string {
+	header := []string{"metric"}
+	for _, row := range r.Rows {
+		header = append(header, fmt.Sprintf("%d nodes", row.Processors))
+	}
+	var rows [][]string
+	for m := 0; m < exec.NumMetrics; m++ {
+		line := []string{exec.MetricNames[m]}
+		for _, row := range r.Rows {
+			line = append(line, eval.FormatRisk(row.Risk[m]))
+		}
+		rows = append(rows, line)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 16 — 32-node production system, %d train / %d test per configuration\n", ProdTrain, ProdTest)
+	sb.WriteString(eval.Table(header, rows))
+	sb.WriteString("  (Null disk-I/O risk = configuration held every table in memory; total test I/Os: ")
+	for i, row := range r.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%dcpu=%.0f", row.Processors, row.TotalDiskIOs)
+	}
+	sb.WriteString(")\n")
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/statutil"
+)
+
+// ContentionRow is one multiprogramming level of the contention what-if.
+type ContentionRow struct {
+	Slots             int
+	PredictedMakespan float64
+	ActualMakespan    float64
+	RelativeError     float64
+}
+
+// ContentionResult holds the contention what-if study.
+type ContentionResult struct {
+	Queries int
+	Rows    []ContentionRow
+}
+
+// ContentionWhatIf closes the loop the paper motivates but does not
+// evaluate: admission control needs to know what happens when queries run
+// TOGETHER. We feed per-query solo-runtime predictions into a
+// processor-sharing contention model (exec.SimulateConcurrent) and compare
+// the predicted workload makespan against the makespan computed from the
+// true solo runtimes, across multiprogramming levels.
+func (l *Lab) ContentionWhatIf() (*ContentionResult, error) {
+	model, _, test, err := l.Exp1Model()
+	if err != nil {
+		return nil, err
+	}
+	// Keep the short-to-medium queries: a workload manager would never
+	// co-schedule wrecking balls into a shared interactive pool.
+	var predSolo, actSolo []float64
+	for _, q := range test {
+		if q.Metrics.ElapsedSec > 1800 {
+			continue
+		}
+		p, err := model.PredictQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		predSolo = append(predSolo, math.Max(p.Metrics.ElapsedSec, 1e-3))
+		actSolo = append(actSolo, q.Metrics.ElapsedSec)
+	}
+	// Poisson-ish arrivals over ten minutes.
+	r := statutil.NewRNG(l.Seed, "contention")
+	arrivals := make([]float64, len(predSolo))
+	tm := 0.0
+	for i := range arrivals {
+		tm += r.Uniform(0, 20)
+		arrivals[i] = tm
+	}
+
+	res := &ContentionResult{Queries: len(predSolo)}
+	const interference = 0.7
+	for _, slots := range []int{1, 2, 4, 8} {
+		pred, err := exec.SimulateConcurrent(arrivals, predSolo, slots, interference)
+		if err != nil {
+			return nil, err
+		}
+		act, err := exec.SimulateConcurrent(arrivals, actSolo, slots, interference)
+		if err != nil {
+			return nil, err
+		}
+		relErr := math.Abs(pred.Makespan-act.Makespan) / act.Makespan
+		res.Rows = append(res.Rows, ContentionRow{
+			Slots:             slots,
+			PredictedMakespan: pred.Makespan,
+			ActualMakespan:    act.Makespan,
+			RelativeError:     relErr,
+		})
+	}
+	return res, nil
+}
+
+// Report renders the contention study.
+func (r *ContentionResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Contention what-if — workload makespan from predicted vs true solo runtimes (%d queries)\n", r.Queries)
+	fmt.Fprintf(&sb, "  %6s %16s %16s %10s\n", "slots", "pred makespan", "true makespan", "rel err")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %6d %15.0fs %15.0fs %9.0f%%\n",
+			row.Slots, row.PredictedMakespan, row.ActualMakespan, row.RelativeError*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exec"
+)
+
+// SQLTextResult holds the Fig. 8 SQL-text feature study alongside the plan
+// feature reference.
+type SQLTextResult struct {
+	SQLText *PredictionResult
+	PlanRef *PredictionResult
+	// IdenticalVectorPairs counts test/train query pairs with identical
+	// SQL-text vectors but elapsed times differing by at least 10x — the
+	// paper's explanation for why text features fail.
+	IdenticalVectorPairs int
+}
+
+// SQLTextKCCA reproduces Fig. 8: KCCA trained on SQL-text feature vectors
+// instead of plan vectors. Accuracy collapses because textually identical
+// queries can have dramatically different runtimes.
+func (l *Lab) SQLTextKCCA() (*SQLTextResult, error) {
+	train, test, err := l.Exp1Split()
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.Features = core.SQLFeatures
+	p, err := core.Train(train, opt)
+	if err != nil {
+		return nil, err
+	}
+	pred, act, err := Evaluate(p, test)
+	if err != nil {
+		return nil, err
+	}
+	res := &SQLTextResult{
+		SQLText: buildPredictionResult("Fig. 8 — KCCA on SQL-text features", len(train), pred, act),
+	}
+
+	ref, err := l.Experiment1()
+	if err != nil {
+		return nil, err
+	}
+	res.PlanRef = ref
+
+	// Count identical-text-vector pairs with >= 10x runtime difference.
+	type sig [9]float64
+	bySig := map[sig][]float64{}
+	key := func(v []float64) sig {
+		var s sig
+		copy(s[:], v)
+		return s
+	}
+	for _, q := range train {
+		v, err := coreSQLVector(q.SQL)
+		if err != nil {
+			continue
+		}
+		bySig[key(v)] = append(bySig[key(v)], q.Metrics.ElapsedSec)
+	}
+	for _, q := range test {
+		v, err := coreSQLVector(q.SQL)
+		if err != nil {
+			continue
+		}
+		for _, tTrain := range bySig[key(v)] {
+			a, b := q.Metrics.ElapsedSec, tTrain
+			if a > 0 && b > 0 && (a/b >= 10 || b/a >= 10) {
+				res.IdenticalVectorPairs++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Report renders the feature study.
+func (r *SQLTextResult) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 8 — SQL-text features vs query-plan features\n")
+	fmt.Fprintf(&sb, "  SQL-text elapsed risk    %s (within 20%%: %.0f%%)\n",
+		eval.FormatRisk(r.SQLText.Risk[exec.MetricElapsed]), r.SQLText.Within20[exec.MetricElapsed]*100)
+	fmt.Fprintf(&sb, "  plan-vector elapsed risk %s (within 20%%: %.0f%%)\n",
+		eval.FormatRisk(r.PlanRef.Risk[exec.MetricElapsed]), r.PlanRef.Within20[exec.MetricElapsed]*100)
+	fmt.Fprintf(&sb, "  test/train pairs with identical text vectors but >=10x runtime gap: %d\n",
+		r.IdenticalVectorPairs)
+	sb.WriteString(eval.ScatterLogLog(r.SQLText.PredElapsed, r.SQLText.ActElapsed, 64, 20, "  SQL-text-predicted vs actual elapsed time"))
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/exec"
+)
+
+// OptimizerCostResult holds the Fig. 17 baseline: the query optimizer's
+// scalar cost estimate versus actual elapsed time for the test queries.
+type OptimizerCostResult struct {
+	N int
+	// Slope and Intercept describe the log-log line of best fit (optimizer
+	// costs are not in time units, so only a fitted mapping is possible).
+	Slope, Intercept float64
+	// Off10x and Off100x are the fractions of queries whose cost sits at
+	// least 10x / 100x away from the best-fit line (the paper annotates
+	// exactly such points).
+	Off10x, Off100x float64
+	// CostAsPredictorRisk is the predictive risk when the fitted power law
+	// converts cost to a time prediction; compare with KCCA's risk.
+	CostAsPredictorRisk float64
+	CostWithin20        float64
+	// KCCARisk and KCCAWithin20 are the Experiment 1 references.
+	KCCARisk     float64
+	KCCAWithin20 float64
+
+	Cost, Act []float64
+}
+
+// OptimizerCostBaseline reproduces Fig. 17: optimizer cost estimates
+// plotted against actual elapsed times for the 61 test queries, with a
+// line of best fit, plus the quantitative comparison against KCCA the
+// paper discusses in Sec. VII-C.1.
+func (l *Lab) OptimizerCostBaseline() (*OptimizerCostResult, error) {
+	_, test, err := l.Exp1Split()
+	if err != nil {
+		return nil, err
+	}
+	res := &OptimizerCostResult{N: len(test)}
+	for _, q := range test {
+		res.Cost = append(res.Cost, q.Plan.Cost)
+		res.Act = append(res.Act, q.Metrics.ElapsedSec)
+	}
+	res.Slope, res.Intercept, res.Off10x, res.Off100x = eval.LogBestFit(res.Cost, res.Act)
+
+	// Even granting the optimizer the best possible power-law conversion
+	// from cost units to seconds, how well does cost predict time?
+	pred := make([]float64, len(res.Cost))
+	for i, c := range res.Cost {
+		if c <= 0 {
+			c = 1e-9
+		}
+		pred[i] = math.Pow(10, res.Slope*math.Log10(c)+res.Intercept)
+	}
+	res.CostAsPredictorRisk = eval.PredictiveRisk(pred, res.Act)
+	res.CostWithin20 = eval.WithinFactor(pred, res.Act, 0.2)
+
+	exp1, err := l.Experiment1()
+	if err != nil {
+		return nil, err
+	}
+	res.KCCARisk = exp1.Risk[exec.MetricElapsed]
+	res.KCCAWithin20 = exp1.Within20[exec.MetricElapsed]
+	return res, nil
+}
+
+// Report renders the optimizer-cost baseline in the style of Fig. 17.
+func (r *OptimizerCostResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 17 — optimizer cost estimates vs actual elapsed time (%d test queries)\n", r.N)
+	fmt.Fprintf(&sb, "  log-log best fit: log10(time) = %.2f*log10(cost) + %.2f\n", r.Slope, r.Intercept)
+	fmt.Fprintf(&sb, "  >= 10x from best fit: %.0f%%   >= 100x: %.0f%%\n", r.Off10x*100, r.Off100x*100)
+	fmt.Fprintf(&sb, "  cost as a time predictor: risk %s, within 20%%: %.0f%%\n",
+		eval.FormatRisk(r.CostAsPredictorRisk), r.CostWithin20*100)
+	fmt.Fprintf(&sb, "  KCCA (Experiment 1):      risk %s, within 20%%: %.0f%%\n",
+		eval.FormatRisk(r.KCCARisk), r.KCCAWithin20*100)
+	sb.WriteString(eval.ScatterLogLog(r.Cost, r.Act, 64, 20, "  optimizer cost (x) vs actual elapsed time (y)"))
+	return sb.String()
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// PredictionResult holds one KCCA prediction experiment's accuracy over
+// all six metrics, plus the elapsed-time series for plotting.
+type PredictionResult struct {
+	Name     string
+	TrainN   int
+	TestN    int
+	Risk     [exec.NumMetrics]float64
+	Trimmed  [exec.NumMetrics]float64 // risk with the worst outlier removed
+	Within20 [exec.NumMetrics]float64
+
+	PredElapsed, ActElapsed []float64
+
+	// CategoryCorrect counts test queries whose runtime category
+	// (feather / golf ball / bowling ball, by predicted elapsed time)
+	// matches the actual category — the paper's headline claim that both
+	// short and long-running queries are identified correctly.
+	CategoryCorrect int
+	// Confusion[actual][predicted] counts category outcomes.
+	Confusion [workload.NumCategories][workload.NumCategories]int
+}
+
+func buildPredictionResult(name string, trainN int, pred, act [exec.NumMetrics][]float64) *PredictionResult {
+	res := &PredictionResult{Name: name, TrainN: trainN, TestN: len(pred[0])}
+	for m := 0; m < exec.NumMetrics; m++ {
+		res.Risk[m] = eval.PredictiveRisk(pred[m], act[m])
+		res.Trimmed[m] = eval.PredictiveRiskTrimmed(pred[m], act[m], 1)
+		res.Within20[m] = eval.WithinFactor(pred[m], act[m], 0.2)
+	}
+	res.PredElapsed = pred[exec.MetricElapsed]
+	res.ActElapsed = act[exec.MetricElapsed]
+	for i := range res.ActElapsed {
+		a := workload.Categorize(res.ActElapsed[i])
+		p := workload.Categorize(res.PredElapsed[i])
+		res.Confusion[a][p]++
+		if a == p {
+			res.CategoryCorrect++
+		}
+	}
+	return res
+}
+
+// Report renders the experiment in the style of Figs. 10-15.
+func (r *PredictionResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (train %d, test %d)\n", r.Name, r.TrainN, r.TestN)
+	var rows [][]string
+	for m := 0; m < exec.NumMetrics; m++ {
+		rows = append(rows, []string{
+			exec.MetricNames[m],
+			eval.FormatRisk(r.Risk[m]),
+			eval.FormatRisk(r.Trimmed[m]),
+			fmt.Sprintf("%.0f%%", r.Within20[m]*100),
+		})
+	}
+	sb.WriteString(eval.Table([]string{"metric", "risk", "risk(-1 outlier)", "within 20%"}, rows))
+	fmt.Fprintf(&sb, "  query type identified correctly: %d/%d", r.CategoryCorrect, r.TestN)
+	offByMoreThanOne := 0
+	for a := 0; a < workload.NumCategories; a++ {
+		for p := 0; p < workload.NumCategories; p++ {
+			d := a - p
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				offByMoreThanOne += r.Confusion[a][p]
+			}
+		}
+	}
+	fmt.Fprintf(&sb, " (misses beyond an adjacent category: %d)\n", offByMoreThanOne)
+	sb.WriteString(eval.ScatterLogLog(r.PredElapsed, r.ActElapsed, 64, 20, "  KCCA-predicted vs actual elapsed time"))
+	return sb.String()
+}
+
+// Experiment1 reproduces Figs. 10-12: the one-model KCCA predictor trained
+// on the realistic 1027-query mix, tested on 61 held-out queries.
+func (l *Lab) Experiment1() (*PredictionResult, error) {
+	model, train, test, err := l.Exp1Model()
+	if err != nil {
+		return nil, err
+	}
+	pred, act, err := Evaluate(model, test)
+	if err != nil {
+		return nil, err
+	}
+	return buildPredictionResult("Figs. 10-12 — Experiment 1: one-model KCCA, realistic training mix", len(train), pred, act), nil
+}
+
+// Experiment2 reproduces Fig. 13: training on only 30 queries of each type
+// (90 total); accuracy degrades relative to Experiment 1, since "more data
+// in the training set is always better".
+func (l *Lab) Experiment2() (*PredictionResult, error) {
+	ds, err := l.ResearchPool()
+	if err != nil {
+		return nil, err
+	}
+	_, test, err := l.Exp1Split()
+	if err != nil {
+		return nil, err
+	}
+	// Balanced sample drawn from the pool minus the test queries.
+	remaining := ds.Subset(ds.Split(test))
+	r := newMixRNG(l.Seed, "exp2mix")
+	train, err := remaining.SampleMix(r, Exp2PerType, Exp2PerType, Exp2PerType)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Train(train, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	pred, act, err := Evaluate(p, test)
+	if err != nil {
+		return nil, err
+	}
+	return buildPredictionResult("Fig. 13 — Experiment 2: balanced 30/30/30 training set", len(train), pred, act), nil
+}
+
+// Experiment3 reproduces Fig. 14: two-step prediction (classify the query
+// type from the global model's neighbors, then use a type-specific model).
+func (l *Lab) Experiment3() (*PredictionResult, error) {
+	train, test, err := l.Exp1Split()
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultOptions()
+	opt.TwoStep = true
+	p, err := core.Train(train, opt)
+	if err != nil {
+		return nil, err
+	}
+	pred, act, err := Evaluate(p, test)
+	if err != nil {
+		return nil, err
+	}
+	return buildPredictionResult("Fig. 14 — Experiment 3: two-step type-specific prediction", len(train), pred, act), nil
+}
+
+// Experiment4Result holds the Fig. 15 customer-database comparison.
+type Experiment4Result struct {
+	OneModel *PredictionResult
+	TwoStep  *PredictionResult
+	// OverpredictedOneModel counts one-model predictions at least 10x
+	// above the actual elapsed time (the paper: "one to three orders of
+	// magnitude longer").
+	OverpredictedOneModel int
+	OverpredictedTwoStep  int
+}
+
+// Experiment4 reproduces Fig. 15: train on TPC-DS, test on queries against
+// the customer database (a different schema entirely); compare one-model
+// and two-step prediction.
+func (l *Lab) Experiment4() (*Experiment4Result, error) {
+	cust, err := l.CustomerPool()
+	if err != nil {
+		return nil, err
+	}
+	test := cust.Queries
+
+	one, train, _, err := l.Exp1Model()
+	if err != nil {
+		return nil, err
+	}
+	predOne, actOne, err := Evaluate(one, test)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := core.DefaultOptions()
+	opt.TwoStep = true
+	two, err := core.Train(train, opt)
+	if err != nil {
+		return nil, err
+	}
+	predTwo, actTwo, err := Evaluate(two, test)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Experiment4Result{
+		OneModel: buildPredictionResult("one-model KCCA on customer queries", len(train), predOne, actOne),
+		TwoStep:  buildPredictionResult("two-step KCCA on customer queries", len(train), predTwo, actTwo),
+	}
+	countOver := func(pred, act []float64) int {
+		n := 0
+		for i := range pred {
+			if act[i] > 0 && pred[i]/act[i] >= 10 {
+				n++
+			}
+		}
+		return n
+	}
+	res.OverpredictedOneModel = countOver(predOne[exec.MetricElapsed], actOne[exec.MetricElapsed])
+	res.OverpredictedTwoStep = countOver(predTwo[exec.MetricElapsed], actTwo[exec.MetricElapsed])
+	return res, nil
+}
+
+// Report renders Experiment 4 in the style of Fig. 15.
+func (r *Experiment4Result) Report() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 15 — Experiment 4: TPC-DS-trained model on customer-database queries\n")
+	fmt.Fprintf(&sb, "  one-model: elapsed risk %s, %d/%d predictions >= 10x too long\n",
+		eval.FormatRisk(r.OneModel.Risk[exec.MetricElapsed]), r.OverpredictedOneModel, r.OneModel.TestN)
+	fmt.Fprintf(&sb, "  two-step:  elapsed risk %s, %d/%d predictions >= 10x too long\n",
+		eval.FormatRisk(r.TwoStep.Risk[exec.MetricElapsed]), r.OverpredictedTwoStep, r.TwoStep.TestN)
+	sb.WriteString(eval.ScatterLogLog(r.OneModel.PredElapsed, r.OneModel.ActElapsed, 64, 16, "  one-model predicted vs actual"))
+	sb.WriteString(eval.ScatterLogLog(r.TwoStep.PredElapsed, r.TwoStep.ActElapsed, 64, 16, "  two-step predicted vs actual"))
+	return sb.String()
+}

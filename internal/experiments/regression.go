@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/regress"
+)
+
+// RegressionResult holds the Fig. 3 / Fig. 4 linear-regression baseline
+// outcome for one metric.
+type RegressionResult struct {
+	Metric string
+	// N is the number of (training) queries plotted, as in the paper's
+	// figures, which plot the training set itself.
+	N int
+	// Negatives counts physically impossible negative predictions (the
+	// paper: 76 negative elapsed times, 105 negative record counts).
+	Negatives int
+	// MostNegative is the worst negative prediction (the paper quotes
+	// −82 seconds and −1.8 million records).
+	MostNegative float64
+	// OffBy10x counts predictions at least an order of magnitude off.
+	OffBy10x int
+	Risk     float64
+
+	Pred, Act []float64
+}
+
+// regressionBaseline fits one linear model per metric on the raw plan
+// feature vectors (counts and cardinality sums, exactly the paper's
+// covariates) and evaluates on the same training queries, as Figs. 3-4 do.
+func (l *Lab) regressionBaseline(metric int, name string) (*RegressionResult, error) {
+	train, _, err := l.Exp1Split()
+	if err != nil {
+		return nil, err
+	}
+	var xRows [][]float64
+	var y []float64
+	for _, q := range train {
+		xRows = append(xRows, features.PlanVectorRaw(q.Plan))
+		y = append(y, q.Metrics.Vector()[metric])
+	}
+	x := features.Matrices(xRows)
+	m, err := regress.Fit(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: regression fit: %w", err)
+	}
+	pred := m.PredictAll(x)
+	res := &RegressionResult{
+		Metric:   name,
+		N:        len(y),
+		Risk:     eval.PredictiveRisk(pred, y),
+		OffBy10x: eval.OrdersOfMagnitudeOff(pred, y, 10),
+		Pred:     pred,
+		Act:      y,
+	}
+	for _, p := range pred {
+		if p < 0 {
+			res.Negatives++
+			if p < res.MostNegative {
+				res.MostNegative = p
+			}
+		}
+	}
+	return res, nil
+}
+
+// RegressionElapsed reproduces Fig. 3: regression-predicted vs actual
+// elapsed times for the training queries.
+func (l *Lab) RegressionElapsed() (*RegressionResult, error) {
+	return l.regressionBaseline(0, "elapsed_time")
+}
+
+// RegressionRecords reproduces Fig. 4: regression-predicted vs actual
+// records used.
+func (l *Lab) RegressionRecords() (*RegressionResult, error) {
+	return l.regressionBaseline(2, "records_used")
+}
+
+// Report renders the regression baseline in the style of Figs. 3-4.
+func (r *RegressionResult) Report() string {
+	var sb strings.Builder
+	fig := "Fig. 3"
+	if r.Metric == "records_used" {
+		fig = "Fig. 4"
+	}
+	fmt.Fprintf(&sb, "%s — linear regression baseline for %s (%d training queries)\n", fig, r.Metric, r.N)
+	fmt.Fprintf(&sb, "  predictive risk          %s\n", eval.FormatRisk(r.Risk))
+	fmt.Fprintf(&sb, "  negative predictions     %d (most negative: %.3g)\n", r.Negatives, r.MostNegative)
+	fmt.Fprintf(&sb, "  >= 10x off               %d / %d\n", r.OffBy10x, r.N)
+	sb.WriteString(eval.ScatterLogLog(r.Pred, r.Act, 64, 20, "  regression-predicted vs actual"))
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/knn"
+)
+
+// DesignCell is one predictive-risk measurement in a design-study table.
+type DesignCell struct {
+	Option string
+	Risk   [exec.NumMetrics]float64
+}
+
+// DesignTableResult holds one of Tables I-III.
+type DesignTableResult struct {
+	Name  string
+	Cells []DesignCell
+}
+
+// Report renders the table in the paper's layout: one row per metric, one
+// column per design option.
+func (r *DesignTableResult) Report() string {
+	header := []string{"metric"}
+	for _, c := range r.Cells {
+		header = append(header, c.Option)
+	}
+	var rows [][]string
+	for m := 0; m < exec.NumMetrics; m++ {
+		row := []string{exec.MetricNames[m]}
+		for _, c := range r.Cells {
+			row = append(row, eval.FormatRisk(c.Risk[m]))
+		}
+		rows = append(rows, row)
+	}
+	var sb strings.Builder
+	sb.WriteString(r.Name + "\n")
+	sb.WriteString(eval.Table(header, rows))
+	return sb.String()
+}
+
+// designStudy evaluates the Exp 1 model under a set of kNN option
+// variations without retraining.
+func (l *Lab) designStudy(name string, options []knn.Options, labels []string) (*DesignTableResult, error) {
+	model, _, test, err := l.Exp1Model()
+	if err != nil {
+		return nil, err
+	}
+	res := &DesignTableResult{Name: name}
+	for i, opt := range options {
+		p := model.WithKNN(opt)
+		pred, act, err := Evaluate(p, test)
+		if err != nil {
+			return nil, err
+		}
+		cell := DesignCell{Option: labels[i]}
+		for m := 0; m < exec.NumMetrics; m++ {
+			cell.Risk[m] = eval.PredictiveRisk(pred[m], act[m])
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// DistanceMetricComparison reproduces Table I: Euclidean vs cosine
+// distance for identifying nearest neighbors.
+func (l *Lab) DistanceMetricComparison() (*DesignTableResult, error) {
+	base := knn.DefaultOptions()
+	cos := base
+	cos.Distance = knn.Cosine
+	return l.designStudy(
+		"Table I — Euclidean vs cosine neighbor distance (predictive risk)",
+		[]knn.Options{base, cos},
+		[]string{"euclidean", "cosine"},
+	)
+}
+
+// NeighborCountComparison reproduces Table II: varying the number of
+// neighbors k from 3 to 7.
+func (l *Lab) NeighborCountComparison() (*DesignTableResult, error) {
+	var opts []knn.Options
+	var labels []string
+	for k := 3; k <= 7; k++ {
+		o := knn.DefaultOptions()
+		o.K = k
+		opts = append(opts, o)
+		labels = append(labels, fmt.Sprintf("%dNN", k))
+	}
+	return l.designStudy("Table II — number of neighbors (predictive risk)", opts, labels)
+}
+
+// NeighborWeighting reproduces Table III: equal vs 3:2:1 vs
+// distance-proportional neighbor weighting.
+func (l *Lab) NeighborWeighting() (*DesignTableResult, error) {
+	mk := func(w knn.Weighting) knn.Options {
+		o := knn.DefaultOptions()
+		o.Weighting = w
+		return o
+	}
+	return l.designStudy(
+		"Table III — neighbor weighting (predictive risk)",
+		[]knn.Options{mk(knn.EqualWeight), mk(knn.RankWeight), mk(knn.DistanceWeight)},
+		[]string{"equal", "3:2:1", "distance"},
+	)
+}

@@ -1,0 +1,126 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+)
+
+func planFor(t *testing.T, sql string) *optimizer.Plan {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := optimizer.BuildPlan(q, catalog.TPCDS(1), 3, optimizer.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanVectorShape(t *testing.T) {
+	p := planFor(t, "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 10")
+	v := PlanVector(p)
+	if len(v) != PlanVectorLen {
+		t.Fatalf("len = %d, want %d", len(v), PlanVectorLen)
+	}
+	names := PlanFeatureNames()
+	if len(names) != PlanVectorLen {
+		t.Fatalf("names len = %d", len(names))
+	}
+	// Exactly one file_scan with positive log-cardinality.
+	scanIdx := 2 * int(optimizer.OpFileScan)
+	if v[scanIdx] != 1 {
+		t.Errorf("file_scan count = %v, want 1", v[scanIdx])
+	}
+	if v[scanIdx+1] <= 0 {
+		t.Errorf("file_scan logcardsum = %v, want positive", v[scanIdx+1])
+	}
+	// Counts are nonnegative everywhere.
+	for i, x := range v {
+		if x < 0 {
+			t.Errorf("feature %s = %v", names[i], x)
+		}
+	}
+}
+
+func TestPlanVectorRawVsLog(t *testing.T) {
+	p := planFor(t, "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk")
+	raw := PlanVectorRaw(p)
+	logv := PlanVector(p)
+	if len(raw) != len(logv) {
+		t.Fatal("length mismatch")
+	}
+	for i := 0; i < len(raw); i += 2 {
+		if raw[i] != logv[i] {
+			t.Errorf("counts must match at %d: %v vs %v", i, raw[i], logv[i])
+		}
+		if want := math.Log1p(raw[i+1]); math.Abs(logv[i+1]-want) > 1e-12 {
+			t.Errorf("cardsum %d: log1p(%v) = %v, got %v", i, raw[i+1], want, logv[i+1])
+		}
+	}
+}
+
+func TestPlanVectorDistinguishesQueries(t *testing.T) {
+	a := PlanVector(planFor(t, "SELECT COUNT(*) FROM store"))
+	b := PlanVector(planFor(t, "SELECT COUNT(*) FROM store_sales, item WHERE ss_item_sk = i_item_sk"))
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different plans should have different vectors")
+	}
+}
+
+func TestSQLVector(t *testing.T) {
+	v, err := SQLVector("SELECT COUNT(*) FROM t1 AS a, t2 AS b WHERE a.k = b.k AND a.x > 3 ORDER BY a.x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 9 {
+		t.Fatalf("len = %d, want 9", len(v))
+	}
+	// join preds = 1, equijoins = 1, selections = 1, sort cols = 1, aggs = 1.
+	if v[4] != 1 || v[5] != 1 || v[1] != 1 || v[7] != 1 || v[8] != 1 {
+		t.Errorf("vector = %v", v)
+	}
+	if _, err := SQLVector("garbage"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+}
+
+func TestPerfVectors(t *testing.T) {
+	m := exec.Metrics{ElapsedSec: math.E - 1, RecordsAccessed: 10, RecordsUsed: 5, DiskIOs: 0, MessageCount: 3, MessageBytes: 100}
+	raw := PerfRawVector(m)
+	kern := PerfKernelVector(m)
+	if len(raw) != exec.NumMetrics || len(kern) != exec.NumMetrics {
+		t.Fatal("wrong lengths")
+	}
+	if raw[0] != math.E-1 {
+		t.Errorf("raw elapsed = %v", raw[0])
+	}
+	if math.Abs(kern[0]-1) > 1e-12 {
+		t.Errorf("kernel elapsed = %v, want 1 (log1p(e-1))", kern[0])
+	}
+	if kern[3] != 0 {
+		t.Errorf("log1p(0) = %v, want 0", kern[3])
+	}
+}
+
+func TestMatrices(t *testing.T) {
+	m := Matrices([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Errorf("matrix wrong: %v", m)
+	}
+	if e := Matrices(nil); e.Rows != 0 {
+		t.Error("empty input should give empty matrix")
+	}
+}

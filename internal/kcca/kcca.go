@@ -1,0 +1,220 @@
+// Package kcca implements Kernel Canonical Correlation Analysis — the
+// paper's chosen technique (Sec. V-E and VI). Gaussian kernel matrices are
+// computed for the query-feature and performance-feature datasets, centered
+// in feature space, reduced via kernel PCA, and correlated with
+// regularized linear CCA in the reduced space. The result is a pair of
+// projections — the query projection KxA and performance projection KyB of
+// the paper — in which corresponding rows are maximally correlated, plus
+// the machinery to project a previously unseen query into the query
+// projection (the first step of Fig. 7's prediction pipeline).
+package kcca
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cca"
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+)
+
+// Options configures KCCA training.
+type Options struct {
+	// TauFracX and TauFracY set the Gaussian kernel scales as fractions of
+	// the empirical variance of data-point norms. The paper uses 0.1 for
+	// query vectors and 0.2 for performance vectors. The heuristic suits
+	// data whose norms vary over orders of magnitude (like cardinality
+	// features); TauX/TauY override it with absolute scales.
+	TauFracX, TauFracY float64
+	// TauX and TauY, when positive, set the kernel scales directly and
+	// bypass the heuristic.
+	TauX, TauY float64
+	// Rank is the kernel-PCA reduction rank per view; 0 selects an
+	// automatic rank (enough components to cover most kernel variance,
+	// capped for tractability).
+	Rank int
+	// Dims is the number of canonical dimensions kept; 0 keeps all
+	// available (= reduced rank).
+	Dims int
+	// Reg is the CCA ridge regularization; 0 selects a default.
+	Reg float64
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{TauFracX: 0.1, TauFracY: 0.2, Rank: 0, Dims: 0, Reg: 1e-3}
+}
+
+// Model is a trained KCCA model.
+type Model struct {
+	// X holds the training query feature matrix (needed to kernelize new
+	// queries).
+	X *linalg.Matrix
+	// TauX and TauY are the kernel scales actually used.
+	TauX, TauY float64
+
+	// QueryProj and PerfProj are the training projections (N×d): the
+	// paper's KxA and KyB. Row i of each corresponds to training query i.
+	QueryProj, PerfProj *linalg.Matrix
+
+	// Correlations are the canonical correlations per dimension.
+	Correlations []float64
+
+	// Centering data for out-of-sample query projection.
+	rowMeansX []float64
+	grandX    float64
+	// Kernel-PCA basis for the X view: Phi = Ux·Λx^{1/2}; a new kernel
+	// vector kq maps to φq = Λx^{−1/2}·Uxᵀ·kq.
+	ux   *linalg.Matrix
+	lamx []float64
+	// CCA weights in reduced space.
+	ccaModel *cca.Model
+}
+
+// Train fits KCCA on the query features x and performance features y (one
+// row per training query in both, same order).
+func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
+	if x.Rows != y.Rows {
+		return nil, errors.New("kcca: feature matrices must have equal row counts")
+	}
+	n := x.Rows
+	if n < 5 {
+		return nil, errors.New("kcca: need at least five training queries")
+	}
+	if opt.TauFracX <= 0 {
+		opt.TauFracX = 0.1
+	}
+	if opt.TauFracY <= 0 {
+		opt.TauFracY = 0.2
+	}
+	if opt.Reg <= 0 {
+		opt.Reg = 1e-3
+	}
+
+	tauX := opt.TauX
+	if tauX <= 0 {
+		tauX = kernels.ScaleHeuristic(x, opt.TauFracX)
+	}
+	tauY := opt.TauY
+	if tauY <= 0 {
+		tauY = kernels.ScaleHeuristic(y, opt.TauFracY)
+	}
+
+	kx := kernels.Matrix(x, tauX)
+	ky := kernels.Matrix(y, tauY)
+	kxC, rowMeansX, grandX := kernels.Center(kx)
+	kyC, _, _ := kernels.Center(ky)
+
+	rank := opt.Rank
+	if rank <= 0 {
+		rank = n / 4
+		if rank > 80 {
+			rank = 80
+		}
+		if rank < 8 {
+			rank = 8
+		}
+	}
+	if rank > n-1 {
+		rank = n - 1
+	}
+
+	phiX, ux, lamx, err := kernelPCA(kxC, rank)
+	if err != nil {
+		return nil, err
+	}
+	phiY, _, _, err := kernelPCA(kyC, rank)
+	if err != nil {
+		return nil, err
+	}
+
+	dims := opt.Dims
+	if dims <= 0 || dims > phiX.Cols || dims > phiY.Cols {
+		dims = phiX.Cols
+		if phiY.Cols < dims {
+			dims = phiY.Cols
+		}
+	}
+	cm, err := cca.Fit(phiX, phiY, dims, opt.Reg)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Model{
+		X:            x.Clone(),
+		TauX:         tauX,
+		TauY:         tauY,
+		QueryProj:    cm.ProjectAllX(phiX),
+		PerfProj:     cm.ProjectAllY(phiY),
+		Correlations: cm.Correlations,
+		rowMeansX:    rowMeansX,
+		grandX:       grandX,
+		ux:           ux,
+		lamx:         lamx,
+		ccaModel:     cm,
+	}, nil
+}
+
+// kernelPCA returns Phi = U·Λ^{1/2} for the top-r eigenpairs of the
+// centered kernel matrix, dropping components with negligible eigenvalues.
+func kernelPCA(k *linalg.Matrix, r int) (phi, u *linalg.Matrix, lam []float64, err error) {
+	vals, vecs, err := linalg.TopEigen(k, r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Keep only numerically meaningful components.
+	keep := 0
+	tol := 1e-10 * math.Max(vals[0], 1)
+	for keep < len(vals) && vals[keep] > tol {
+		keep++
+	}
+	if keep == 0 {
+		return nil, nil, nil, errors.New("kcca: kernel matrix has no significant components")
+	}
+	vals = vals[:keep]
+	vecs = vecs.SliceCols(0, keep)
+	n := k.Rows
+	phi = linalg.NewMatrix(n, keep)
+	for j := 0; j < keep; j++ {
+		s := math.Sqrt(vals[j])
+		for i := 0; i < n; i++ {
+			phi.Set(i, j, vecs.At(i, j)*s)
+		}
+	}
+	return phi, vecs, vals, nil
+}
+
+// ProjectQuery maps a new query feature vector into the query projection
+// (the coordinates used for nearest-neighbor lookup in Fig. 7).
+func (m *Model) ProjectQuery(q []float64) []float64 {
+	kq := kernels.CrossVector(m.X, q, m.TauX)
+	kqC := kernels.CenterCross(kq, m.rowMeansX, m.grandX)
+	// φq = Λ^{−1/2} Uᵀ kq.
+	phi := m.ux.TMulVec(kqC)
+	for j := range phi {
+		phi[j] /= math.Sqrt(m.lamx[j])
+	}
+	return m.ccaModel.ProjectX(phi)
+}
+
+// MaxKernel returns the largest kernel evaluation between q and any
+// training point — a raw in-distribution score in (0, 1]. Values near zero
+// mean the query is far from everything the model has seen, in which case
+// its projection coordinates are meaningless (the kernel vector is
+// numerically zero) and downstream confidence should collapse.
+func (m *Model) MaxKernel(q []float64) float64 {
+	kq := kernels.CrossVector(m.X, q, m.TauX)
+	best := 0.0
+	for _, v := range kq {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Dims returns the dimensionality of the canonical projections.
+func (m *Model) Dims() int { return m.QueryProj.Cols }
+
+// N returns the number of training queries.
+func (m *Model) N() int { return m.QueryProj.Rows }

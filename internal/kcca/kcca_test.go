@@ -1,0 +1,241 @@
+package kcca
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/linalg"
+	"repro/internal/regress"
+)
+
+// nonlinearViews plants a strongly nonlinear relation: the performance
+// view is a smooth but non-linear function of the query view, like query
+// runtime versus plan cardinalities.
+func nonlinearViews(seed int64, n int) (*linalg.Matrix, *linalg.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(n, 3)
+	y := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 4
+		b := rng.Float64() * 4
+		c := rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		x.Set(i, 2, c)
+		y.Set(i, 0, a*b+0.05*rng.NormFloat64()) // multiplicative
+		y.Set(i, 1, math.Exp(a/2)+0.05*rng.NormFloat64())
+	}
+	return x, y
+}
+
+// unitOpts returns options whose kernel scales suit the unit-scale planted
+// data of these tests (the paper's 0.1/0.2 fractions assume cardinality
+// features whose norms vary over orders of magnitude).
+func unitOpts() Options {
+	o := DefaultOptions()
+	o.TauFracX, o.TauFracY = 5, 5
+	return o
+}
+
+func TestTrainBasics(t *testing.T) {
+	x, y := nonlinearViews(1, 120)
+	m, err := Train(x, y, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 120 {
+		t.Errorf("N = %d", m.N())
+	}
+	if m.Dims() <= 0 {
+		t.Errorf("dims = %d", m.Dims())
+	}
+	if m.QueryProj.Rows != 120 || m.PerfProj.Rows != 120 {
+		t.Error("projection row counts wrong")
+	}
+	if m.QueryProj.Cols != m.PerfProj.Cols {
+		t.Error("projection dims differ")
+	}
+	for i, c := range m.Correlations {
+		if c < -1e-9 || c > 1+1e-9 {
+			t.Errorf("correlation %d = %v", i, c)
+		}
+	}
+	if m.Correlations[0] < 0.8 {
+		t.Errorf("top correlation = %v, want high for strongly related views", m.Correlations[0])
+	}
+}
+
+func TestProjectQueryConsistentWithTraining(t *testing.T) {
+	// Projecting a TRAINING point out-of-sample must land (nearly) on its
+	// training projection — the property that makes Fig. 7's prediction
+	// pipeline coherent.
+	x, y := nonlinearViews(2, 80)
+	m, err := Train(x, y, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got := m.ProjectQuery(x.Row(i))
+		want := m.QueryProj.Row(i)
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-6*(1+math.Abs(want[j])) {
+				t.Fatalf("row %d dim %d: out-of-sample %v vs training %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSimilarQueriesProjectNearby(t *testing.T) {
+	x, y := nonlinearViews(3, 100)
+	m, err := Train(x, y, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb training point 0 slightly: its projection must stay closer
+	// to point 0's projection than to most others.
+	q := linalg.CloneVec(x.Row(0))
+	for j := range q {
+		q[j] += 0.01
+	}
+	p := m.ProjectQuery(q)
+	d0 := linalg.Dist(p, m.QueryProj.Row(0))
+	closer := 0
+	for i := 1; i < m.N(); i++ {
+		if linalg.Dist(p, m.QueryProj.Row(i)) < d0 {
+			closer++
+		}
+	}
+	if closer > 3 {
+		t.Errorf("perturbed query has %d training points closer than its source", closer)
+	}
+}
+
+// TestKCCABeatsRegressionOnNonlinearData is the core scientific claim:
+// kNN in KCCA projection space predicts a nonlinear metric much better
+// than linear regression on the raw features.
+func TestKCCABeatsRegressionOnNonlinearData(t *testing.T) {
+	xTrain, yTrain := nonlinearViews(4, 300)
+	xTest, yTest := nonlinearViews(5, 60)
+
+	m, err := Train(xTrain, yTrain, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := knn.DefaultOptions()
+
+	risk := func(pred, act []float64) float64 {
+		mean := linalg.Mean(act)
+		var sse, sst float64
+		for i := range act {
+			sse += (pred[i] - act[i]) * (pred[i] - act[i])
+			sst += (act[i] - mean) * (act[i] - mean)
+		}
+		return 1 - sse/sst
+	}
+
+	// KCCA + kNN predictions for metric 0.
+	kccaPred := make([]float64, xTest.Rows)
+	act := make([]float64, xTest.Rows)
+	for i := 0; i < xTest.Rows; i++ {
+		proj := m.ProjectQuery(xTest.Row(i))
+		pred, _, err := knn.Predict(m.QueryProj, yTrain, proj, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kccaPred[i] = pred[0]
+		act[i] = yTest.At(i, 0)
+	}
+
+	// Linear regression baseline on the same metric.
+	lm, err := regress.Fit(xTrain, yTrain.Col(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regPred := lm.PredictAll(xTest)
+
+	kccaRisk := risk(kccaPred, act)
+	regRisk := risk(regPred, act)
+	if kccaRisk < 0.9 {
+		t.Errorf("KCCA predictive risk = %v, want > 0.9", kccaRisk)
+	}
+	if kccaRisk <= regRisk {
+		t.Errorf("KCCA (%v) should beat regression (%v) on nonlinear data", kccaRisk, regRisk)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	x := linalg.NewMatrix(4, 2)
+	y := linalg.NewMatrix(4, 2)
+	if _, err := Train(x, y, DefaultOptions()); err == nil {
+		t.Error("too-few rows accepted")
+	}
+	if _, err := Train(linalg.NewMatrix(10, 2), linalg.NewMatrix(9, 2), DefaultOptions()); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}
+
+func TestRankOption(t *testing.T) {
+	x, y := nonlinearViews(6, 60)
+	m, err := Train(x, y, Options{Rank: 10, Reg: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims() > 10 {
+		t.Errorf("dims = %d, want <= rank 10", m.Dims())
+	}
+}
+
+func TestMaxKernel(t *testing.T) {
+	x, y := nonlinearViews(7, 60)
+	m, err := Train(x, y, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A training point's max kernel is 1 (itself).
+	if k := m.MaxKernel(x.Row(0)); math.Abs(k-1) > 1e-12 {
+		t.Errorf("training point max kernel = %v, want 1", k)
+	}
+	// A far-away point has near-zero similarity.
+	far := make([]float64, x.Cols)
+	for i := range far {
+		far[i] = 1e6
+	}
+	if k := m.MaxKernel(far); k > 1e-6 {
+		t.Errorf("far point max kernel = %v, want ~0", k)
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	x, y := nonlinearViews(8, 50)
+	m, err := Train(x, y, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != m.N() || loaded.Dims() != m.Dims() {
+		t.Fatal("shape changed after round trip")
+	}
+	// Out-of-sample projection must be bit-identical.
+	q := x.Row(3)
+	a := m.ProjectQuery(q)
+	b := loaded.ProjectQuery(q)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("projection changed after round trip at dim %d", i)
+		}
+	}
+	if _, err := Load(strings.NewReader("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

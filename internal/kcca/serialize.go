@@ -1,0 +1,60 @@
+package kcca
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/cca"
+	"repro/internal/linalg"
+)
+
+// modelWire is the gob-encodable mirror of Model (whose projection
+// internals are unexported by design).
+type modelWire struct {
+	X            *linalg.Matrix
+	TauX, TauY   float64
+	QueryProj    *linalg.Matrix
+	PerfProj     *linalg.Matrix
+	Correlations []float64
+	RowMeansX    []float64
+	GrandX       float64
+	Ux           *linalg.Matrix
+	Lamx         []float64
+	CCA          *cca.Model
+}
+
+// Save serializes the model. The paper's deployment story (Fig. 1) has the
+// vendor train models and ship them to customer sites; Save/Load is that
+// shipping format.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{
+		X: m.X, TauX: m.TauX, TauY: m.TauY,
+		QueryProj: m.QueryProj, PerfProj: m.PerfProj,
+		Correlations: m.Correlations,
+		RowMeansX:    m.rowMeansX, GrandX: m.grandX,
+		Ux: m.ux, Lamx: m.lamx, CCA: m.ccaModel,
+	}
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("kcca: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("kcca: decoding model: %w", err)
+	}
+	if wire.X == nil || wire.QueryProj == nil || wire.Ux == nil || wire.CCA == nil {
+		return nil, fmt.Errorf("kcca: decoded model is incomplete")
+	}
+	return &Model{
+		X: wire.X, TauX: wire.TauX, TauY: wire.TauY,
+		QueryProj: wire.QueryProj, PerfProj: wire.PerfProj,
+		Correlations: wire.Correlations,
+		rowMeansX:    wire.RowMeansX, grandX: wire.GrandX,
+		ux: wire.Ux, lamx: wire.Lamx, ccaModel: wire.CCA,
+	}, nil
+}

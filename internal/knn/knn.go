@@ -1,0 +1,164 @@
+// Package knn implements the nearest-neighbor prediction step of the
+// paper's Fig. 7: given a new query's coordinates in the KCCA query
+// projection, find its k nearest training neighbors there and combine
+// their raw performance vectors into a prediction. The paper's three
+// design questions — distance metric (Table I), neighbor count (Table II),
+// and neighbor weighting (Table III) — are all first-class options here.
+package knn
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Distance selects the neighbor distance metric.
+type Distance int
+
+const (
+	// Euclidean distance won in the paper's Table I.
+	Euclidean Distance = iota
+	// Cosine distance captures direction-wise nearness.
+	Cosine
+)
+
+func (d Distance) String() string {
+	if d == Cosine {
+		return "cosine"
+	}
+	return "euclidean"
+}
+
+// Weighting selects how neighbor performance vectors are combined.
+type Weighting int
+
+const (
+	// EqualWeight averages all neighbors equally — the paper's choice.
+	EqualWeight Weighting = iota
+	// RankWeight weights neighbors 3:2:1 (and so on) by nearness rank.
+	RankWeight
+	// DistanceWeight weights neighbors by inverse distance.
+	DistanceWeight
+)
+
+func (w Weighting) String() string {
+	switch w {
+	case RankWeight:
+		return "rank(3:2:1)"
+	case DistanceWeight:
+		return "inverse-distance"
+	default:
+		return "equal"
+	}
+}
+
+// Neighbor is one nearest neighbor with its index and distance.
+type Neighbor struct {
+	Index    int
+	Distance float64
+}
+
+// Options configures prediction.
+type Options struct {
+	K         int
+	Distance  Distance
+	Weighting Weighting
+}
+
+// DefaultOptions returns the paper's final choices: k = 3, Euclidean
+// distance, equal weighting.
+func DefaultOptions() Options {
+	return Options{K: 3, Distance: Euclidean, Weighting: EqualWeight}
+}
+
+// Nearest returns the k nearest rows of points to q under the metric,
+// sorted by ascending distance.
+func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neighbor, error) {
+	n := points.Rows
+	if n == 0 {
+		return nil, errors.New("knn: no points")
+	}
+	if k <= 0 {
+		return nil, errors.New("knn: nonpositive k")
+	}
+	if k > n {
+		k = n
+	}
+	all := make([]Neighbor, n)
+	for i := 0; i < n; i++ {
+		var d float64
+		if metric == Cosine {
+			d = linalg.CosineDistance(points.Row(i), q)
+		} else {
+			d = linalg.Dist(points.Row(i), q)
+		}
+		all[i] = Neighbor{Index: i, Distance: d}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Distance != all[b].Distance {
+			return all[a].Distance < all[b].Distance
+		}
+		return all[a].Index < all[b].Index
+	})
+	return all[:k], nil
+}
+
+// Combine merges the value vectors of the neighbors (rows of values
+// indexed by Neighbor.Index) into one prediction under the weighting
+// scheme.
+func Combine(values *linalg.Matrix, neighbors []Neighbor, w Weighting) []float64 {
+	out := make([]float64, values.Cols)
+	if len(neighbors) == 0 {
+		return out
+	}
+	total := 0.0
+	for rank, nb := range neighbors {
+		var wt float64
+		switch w {
+		case RankWeight:
+			wt = float64(len(neighbors) - rank)
+		case DistanceWeight:
+			wt = 1 / (nb.Distance + 1e-9)
+		default:
+			wt = 1
+		}
+		linalg.Axpy(wt, values.Row(nb.Index), out)
+		total += wt
+	}
+	linalg.ScaleVec(1/total, out)
+	return out
+}
+
+// Predict is Nearest followed by Combine.
+func Predict(points, values *linalg.Matrix, q []float64, opt Options) ([]float64, []Neighbor, error) {
+	if points.Rows != values.Rows {
+		return nil, nil, errors.New("knn: point and value row counts differ")
+	}
+	nbs, err := Nearest(points, q, opt.K, opt.Distance)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Combine(values, nbs, opt.Weighting), nbs, nil
+}
+
+// Confidence converts the neighbor distances into a confidence score in
+// (0, 1]: queries far from all their neighbors get low confidence. This is
+// the paper's Sec. VII-C.3 idea for flagging anomalous queries whose
+// predictions should not be trusted. The scale parameter is a reference
+// distance (for example the median neighbor distance on the training set).
+func Confidence(neighbors []Neighbor, scale float64) float64 {
+	if len(neighbors) == 0 {
+		return 0
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	mean := 0.0
+	for _, nb := range neighbors {
+		mean += nb.Distance
+	}
+	mean /= float64(len(neighbors))
+	return math.Exp(-mean / scale)
+}

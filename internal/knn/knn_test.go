@@ -1,0 +1,154 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+var points = linalg.FromRows([][]float64{
+	{0, 0},
+	{1, 0},
+	{0, 1},
+	{5, 5},
+	{10, 10},
+})
+
+var values = linalg.FromRows([][]float64{
+	{10, 1},
+	{20, 2},
+	{30, 3},
+	{40, 4},
+	{50, 5},
+})
+
+func TestNearestEuclidean(t *testing.T) {
+	nbs, err := Nearest(points, []float64{0.1, 0.1}, 3, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 3 {
+		t.Fatalf("got %d neighbors", len(nbs))
+	}
+	if nbs[0].Index != 0 {
+		t.Errorf("nearest = %d, want 0", nbs[0].Index)
+	}
+	for i := 1; i < len(nbs); i++ {
+		if nbs[i].Distance < nbs[i-1].Distance {
+			t.Error("neighbors not sorted by distance")
+		}
+	}
+}
+
+func TestNearestCosine(t *testing.T) {
+	// Direction (1,1): cosine distance prefers (5,5) and (10,10) over
+	// (1,0) despite their larger magnitudes.
+	nbs, err := Nearest(points, []float64{1, 1}, 2, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{nbs[0].Index: true, nbs[1].Index: true}
+	if !got[3] || !got[4] {
+		t.Errorf("cosine neighbors = %v, want indexes 3 and 4", nbs)
+	}
+}
+
+func TestNearestClampsK(t *testing.T) {
+	nbs, err := Nearest(points, []float64{0, 0}, 100, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != points.Rows {
+		t.Errorf("k should clamp to n, got %d", len(nbs))
+	}
+}
+
+func TestNearestErrors(t *testing.T) {
+	if _, err := Nearest(linalg.NewMatrix(0, 2), []float64{1, 2}, 1, Euclidean); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := Nearest(points, []float64{1, 2}, 0, Euclidean); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCombineEqual(t *testing.T) {
+	nbs := []Neighbor{{Index: 0, Distance: 1}, {Index: 1, Distance: 2}, {Index: 2, Distance: 3}}
+	got := Combine(values, nbs, EqualWeight)
+	if math.Abs(got[0]-20) > 1e-12 || math.Abs(got[1]-2) > 1e-12 {
+		t.Errorf("equal combine = %v, want [20 2]", got)
+	}
+}
+
+func TestCombineRank(t *testing.T) {
+	nbs := []Neighbor{{Index: 0, Distance: 1}, {Index: 1, Distance: 2}, {Index: 2, Distance: 3}}
+	got := Combine(values, nbs, RankWeight)
+	// 3:2:1 weights → (3·10 + 2·20 + 1·30) / 6 = 100/6.
+	if math.Abs(got[0]-100.0/6) > 1e-12 {
+		t.Errorf("rank combine = %v, want %v", got[0], 100.0/6)
+	}
+}
+
+func TestCombineDistance(t *testing.T) {
+	nbs := []Neighbor{{Index: 0, Distance: 1}, {Index: 1, Distance: 1e9}}
+	got := Combine(values, nbs, DistanceWeight)
+	// The far neighbor contributes almost nothing.
+	if math.Abs(got[0]-10) > 0.01 {
+		t.Errorf("distance combine = %v, want ~10", got[0])
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	got := Combine(values, nil, EqualWeight)
+	for _, v := range got {
+		if v != 0 {
+			t.Errorf("empty combine = %v", got)
+		}
+	}
+}
+
+func TestPredict(t *testing.T) {
+	pred, nbs, err := Predict(points, values, []float64{0.2, 0.2}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 3 {
+		t.Fatalf("neighbors = %d", len(nbs))
+	}
+	// Neighbors are rows 0,1,2 → mean of values = (20, 2).
+	if math.Abs(pred[0]-20) > 1e-12 {
+		t.Errorf("prediction = %v", pred)
+	}
+	if _, _, err := Predict(points, linalg.NewMatrix(2, 2), []float64{0, 0}, DefaultOptions()); err == nil {
+		t.Error("mismatched values accepted")
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	near := []Neighbor{{Distance: 0.01}, {Distance: 0.02}}
+	far := []Neighbor{{Distance: 100}, {Distance: 200}}
+	cn := Confidence(near, 1)
+	cf := Confidence(far, 1)
+	if cn <= cf {
+		t.Errorf("near confidence (%v) should exceed far (%v)", cn, cf)
+	}
+	if cn <= 0 || cn > 1 {
+		t.Errorf("confidence out of range: %v", cn)
+	}
+	if Confidence(nil, 1) != 0 {
+		t.Error("empty neighbors should have zero confidence")
+	}
+	if Confidence(near, 0) <= 0 {
+		t.Error("zero scale should fall back safely")
+	}
+}
+
+func TestMetricAndWeightingStrings(t *testing.T) {
+	if Euclidean.String() != "euclidean" || Cosine.String() != "cosine" {
+		t.Error("distance names wrong")
+	}
+	if EqualWeight.String() != "equal" || RankWeight.String() != "rank(3:2:1)" || DistanceWeight.String() != "inverse-distance" {
+		t.Error("weighting names wrong")
+	}
+}

@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym holds the eigendecomposition of a real symmetric matrix:
+// A = V · diag(Values) · Vᵀ, with eigenvalues sorted in descending order and
+// eigenvectors stored as the columns of Vectors.
+type EigenSym struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a
+// using Householder tridiagonalization followed by the implicit QL
+// algorithm (the classic tred2/tql2 pair). Only the lower triangle of a is
+// read. The result is sorted by descending eigenvalue.
+func SymEig(a *Matrix) (*EigenSym, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: SymEig requires a square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return &EigenSym{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+	}
+	v := a.Clone()
+	// Symmetrize from the lower triangle so callers may pass matrices with
+	// tiny asymmetries from floating point accumulation.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v.Set(i, j, v.At(j, i))
+		}
+	}
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, err
+	}
+	// Sort by descending eigenvalue, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(p, q int) bool { return d[idx[p]] > d[idx[q]] })
+	vals := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for c, j := range idx {
+		vals[c] = d[j]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, c, v.At(i, j))
+		}
+	}
+	return &EigenSym{Values: vals, Vectors: vecs}, nil
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form using
+// Householder similarity transformations, accumulating the transformations
+// in v. On return d holds the diagonal and e the subdiagonal. This is a
+// direct translation of the EISPACK routine.
+func tred2(v *Matrix, d, e []float64) {
+	n := v.Rows
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		scale := 0.0
+		h := 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Set(k, j, v.At(k, j)-(f*e[k]+g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Set(k, j, v.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 computes the eigendecomposition of the symmetric tridiagonal matrix
+// (d, e) using the implicit QL algorithm, updating the accumulated
+// transformations in v. Direct translation of the EISPACK routine.
+func tql2(v *Matrix, d, e []float64) error {
+	n := v.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f := 0.0
+	tst1 := 0.0
+	eps := math.Pow(2, -52)
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 50 {
+					return errors.New("linalg: tql2 failed to converge")
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c := 1.0
+				c2 := c
+				c3 := c
+				el1 := e[l+1]
+				s := 0.0
+				s2 := 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}
+
+// TopEigen returns the leading r eigenpairs (largest eigenvalues) of the
+// symmetric matrix a. It simply truncates a full decomposition; r is clamped
+// to the matrix dimension.
+func TopEigen(a *Matrix, r int) (vals []float64, vecs *Matrix, err error) {
+	es, err := SymEig(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(es.Values)
+	if r > n {
+		r = n
+	}
+	return es.Values[:r], es.Vectors.SliceCols(0, r), nil
+}

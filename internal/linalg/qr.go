@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// QRFactor holds a Householder QR factorization of an m x n matrix with
+// m >= n. qr stores the Householder vectors below the diagonal and R above;
+// rdiag stores the diagonal of R.
+type QRFactor struct {
+	qr    *Matrix
+	rdiag []float64
+}
+
+// ErrRankDeficient is returned when a least squares system has a
+// (numerically) rank-deficient coefficient matrix.
+var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
+
+// QR computes the Householder QR factorization of a (m >= n). The input is
+// not modified.
+func QR(a *Matrix) *QRFactor {
+	if a.Rows < a.Cols {
+		panic("linalg: QR requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Set(k, k, qr.At(k, k)+1)
+			// Apply transformation to remaining columns.
+			for j := k + 1; j < n; j++ {
+				s := 0.0
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				}
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QRFactor{qr: qr, rdiag: rdiag}
+}
+
+// FullRank reports whether R has no (numerically) zero diagonal entries.
+func (f *QRFactor) FullRank() bool {
+	const eps = 1e-12
+	mx := 0.0
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > mx {
+			mx = a
+		}
+	}
+	tol := eps * mx * float64(len(f.rdiag))
+	for _, d := range f.rdiag {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveVec computes the least squares solution x minimizing ‖Ax − b‖₂.
+func (f *QRFactor) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic("linalg: QR SolveVec dimension mismatch")
+	}
+	if !f.FullRank() {
+		return nil, ErrRankDeficient
+	}
+	y := CloneVec(b)
+	// Apply Householder reflections: y = Qᵀ b.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution: R x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖Ax − b‖₂ via QR. It falls back to ridge-regularized
+// normal equations when A is rank deficient.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return RidgeSolve(a, b, 1e-8)
+	}
+	f := QR(a)
+	x, err := f.SolveVec(b)
+	if err == nil {
+		return x, nil
+	}
+	return RidgeSolve(a, b, 1e-8)
+}
+
+// RidgeSolve solves the ridge-regularized normal equations
+// (AᵀA + λI) x = Aᵀ b via Cholesky.
+func RidgeSolve(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	ata := a.TMul(a)
+	// Scale the ridge to the matrix magnitude so lambda is dimensionless.
+	scale := 0.0
+	for i := 0; i < ata.Rows; i++ {
+		scale += ata.At(i, i)
+	}
+	if ata.Rows > 0 {
+		scale /= float64(ata.Rows)
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	ata.AddDiag(lambda*scale + 1e-300)
+	atb := a.TMulVec(b)
+	ch, err := Cholesky(ata)
+	if err != nil {
+		// Increase regularization until the system is solvable.
+		for boost := lambda * scale * 10; ; boost *= 10 {
+			if boost == 0 {
+				boost = 1e-12
+			}
+			ata.AddDiag(boost)
+			if ch, err = Cholesky(ata); err == nil {
+				break
+			}
+			if boost > 1e12*scale {
+				return nil, err
+			}
+		}
+	}
+	return ch.SolveVec(atb), nil
+}

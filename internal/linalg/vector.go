@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	// Scaled accumulation avoids overflow for large components.
+	mx := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		r := x / mx
+		s += r * r
+	}
+	return mx * math.Sqrt(s)
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dist length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// CosineDistance returns 1 - cos(a, b). Zero vectors are treated as
+// maximally distant (distance 1) from everything, including each other.
+func CosineDistance(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	c := Dot(a, b) / (na * nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return 1 - c
+}
+
+// Axpy computes y += alpha * x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies v by s in place.
+func ScaleVec(s float64, v []float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Mean returns the arithmetic mean of v (0 for an empty slice).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Clone returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

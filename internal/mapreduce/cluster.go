@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/statutil"
+)
+
+// Cluster is a simulated MapReduce cluster configuration — the analogue of
+// exec.Machine for the second domain of Sec. VIII.
+type Cluster struct {
+	Name string
+	// Nodes is the worker count.
+	Nodes int
+	// MapSlots and ReduceSlots are per-node task slots.
+	MapSlots, ReduceSlots int
+	// SplitMB is the input split (and thus map task) size.
+	SplitMB int
+	// DiskMBps and NetMBps are per-node disk and network bandwidth.
+	DiskMBps, NetMBps float64
+	// TaskStartupSec is the fixed scheduling+JVM cost per task wave.
+	TaskStartupSec float64
+}
+
+// SmallCluster returns a 10-node development cluster.
+func SmallCluster() Cluster {
+	return Cluster{
+		Name: "dev-10", Nodes: 10, MapSlots: 2, ReduceSlots: 2,
+		SplitMB: 128, DiskMBps: 60, NetMBps: 40, TaskStartupSec: 4,
+	}
+}
+
+// LargeCluster returns a 100-node production cluster.
+func LargeCluster() Cluster {
+	return Cluster{
+		Name: "prod-100", Nodes: 100, MapSlots: 2, ReduceSlots: 2,
+		SplitMB: 128, DiskMBps: 60, NetMBps: 40, TaskStartupSec: 4,
+	}
+}
+
+// JobMetrics is the measured performance vector of one job execution —
+// the domain's analogue of the paper's six query metrics.
+type JobMetrics struct {
+	ElapsedSec   float64
+	MapTasks     float64
+	ReduceTasks  float64
+	HDFSBytes    float64 // input bytes read
+	ShuffleBytes float64 // map output transferred to reducers
+	OutputBytes  float64 // final output written
+	CPUSeconds   float64 // summed task CPU time
+}
+
+// NumJobMetrics is the dimensionality of the job performance vector.
+const NumJobMetrics = 7
+
+// JobMetricNames lists the metrics in vector order.
+var JobMetricNames = []string{
+	"elapsed_sec", "map_tasks", "reduce_tasks",
+	"hdfs_bytes", "shuffle_bytes", "output_bytes", "cpu_seconds",
+}
+
+// Vector returns the metrics as a performance feature vector.
+func (m JobMetrics) Vector() []float64 {
+	return []float64{
+		m.ElapsedSec, m.MapTasks, m.ReduceTasks,
+		m.HDFSBytes, m.ShuffleBytes, m.OutputBytes, m.CPUSeconds,
+	}
+}
+
+// JobMetricsFromVector reverses Vector.
+func JobMetricsFromVector(v []float64) JobMetrics {
+	if len(v) != NumJobMetrics {
+		panic(fmt.Sprintf("mapreduce: metrics vector has %d elements, want %d", len(v), NumJobMetrics))
+	}
+	return JobMetrics{
+		ElapsedSec: v[0], MapTasks: v[1], ReduceTasks: v[2],
+		HDFSBytes: v[3], ShuffleBytes: v[4], OutputBytes: v[5], CPUSeconds: v[6],
+	}
+}
+
+// trueBehaviour holds the per-kind gaps between a job's configured
+// estimates and its actual behaviour (data-dependent selectivity, CPU
+// hotspots) — the MapReduce analogue of cardinality estimation error.
+func trueBehaviour(j Job, seed int64) (selectivity, cpuPerRecordUS float64) {
+	r := statutil.NewRNG(seed, fmt.Sprintf("mrtruth:%d:%.3g:%.3g", int(j.Kind), j.InputBytes, j.MapSelectivity))
+	selectivity = j.MapSelectivity * r.NoiseFactor(0.25)
+	cpuPerRecordUS = j.CPUPerRecordUS * r.NoiseFactor(0.2)
+	return selectivity, cpuPerRecordUS
+}
+
+// Run simulates executing the job on the cluster and returns its measured
+// metrics. The noise stream models run-to-run variation (stragglers);
+// pass nil for a noiseless run. seed selects the data realization (which
+// fixes the gap between configured and actual selectivity).
+func Run(j Job, c Cluster, seed int64, noise *statutil.RNG) (JobMetrics, error) {
+	if err := j.Validate(); err != nil {
+		return JobMetrics{}, err
+	}
+	if c.Nodes <= 0 || c.MapSlots <= 0 || c.ReduceSlots <= 0 || c.SplitMB <= 0 {
+		return JobMetrics{}, fmt.Errorf("mapreduce: invalid cluster %+v", c)
+	}
+
+	actSel, actCPU := trueBehaviour(j, seed)
+
+	splitBytes := float64(c.SplitMB) * 1e6
+	mapTasks := math.Ceil(j.InputBytes / splitBytes)
+	reduceTasks := float64(j.Reducers)
+
+	// --- Map phase: waves of map tasks across the cluster's slots.
+	mapSlotTotal := float64(c.Nodes * c.MapSlots)
+	mapWaves := math.Ceil(mapTasks / mapSlotTotal)
+	recordsPerSplit := splitBytes / j.RecordBytes
+	perMapCPU := recordsPerSplit * actCPU / 1e6
+	perMapIO := splitBytes / (c.DiskMBps * 1e6)
+	perMapSpill := splitBytes * actSel / (c.DiskMBps * 1e6)
+	mapTaskSec := math.Max(perMapCPU, perMapIO) + perMapSpill
+	mapPhase := mapWaves * (mapTaskSec + c.TaskStartupSec)
+
+	// --- Shuffle: all map output crosses the network to reducers.
+	shuffleBytes := j.InputBytes * actSel
+	shuffleSec := shuffleBytes / (c.NetMBps * 1e6 * float64(c.Nodes))
+
+	// --- Reduce phase: waves of reducers; each sorts and writes its
+	// partition. Output size depends on the job kind.
+	outFrac := map[JobKind]float64{
+		KindGrep:        1.0, // matching records pass through
+		KindWordCount:   0.3, // aggregation shrinks
+		KindJoin:        1.5, // join fan-out
+		KindSort:        1.0,
+		KindMLIteration: 0.001, // model parameters only
+	}[j.Kind]
+	outputBytes := shuffleBytes * outFrac
+	reduceSlotTotal := float64(c.Nodes * c.ReduceSlots)
+	reduceWaves := math.Ceil(reduceTasks / reduceSlotTotal)
+	perReduceBytes := shuffleBytes / reduceTasks
+	perReduceSec := 2*perReduceBytes/(c.DiskMBps*1e6) + // sort-merge spill
+		(outputBytes/reduceTasks)/(c.DiskMBps*1e6) // write output
+	reducePhase := reduceWaves * (perReduceSec + c.TaskStartupSec)
+
+	elapsed := mapPhase + shuffleSec + reducePhase
+	if noise != nil {
+		elapsed *= noise.NoiseFactor(0.08)
+	}
+
+	return JobMetrics{
+		ElapsedSec:   elapsed,
+		MapTasks:     mapTasks,
+		ReduceTasks:  reduceTasks,
+		HDFSBytes:    j.InputBytes,
+		ShuffleBytes: shuffleBytes,
+		OutputBytes:  outputBytes,
+		CPUSeconds:   mapTasks * perMapCPU,
+	}, nil
+}

@@ -1,0 +1,163 @@
+// Package mapreduce carries the paper's methodology to a second domain,
+// exactly as its conclusion proposes: "We are currently adapting our
+// methodology to predict the performance of map-reduce jobs in various
+// hardware and software environments... Only the feature vectors need to
+// be customized for each system."
+//
+// The package provides the three pieces that adaptation needs: a MapReduce
+// job model with parameterized job templates, a cluster execution
+// simulator producing a multi-metric performance vector, and a KCCA +
+// nearest-neighbor predictor whose only domain-specific component is the
+// job feature vector. Everything else (kernels, KCCA, kNN) is reused
+// unchanged from the query predictor's stack.
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/statutil"
+)
+
+// JobKind is the coarse computation class of a job (the analogue of a
+// query template).
+type JobKind int
+
+const (
+	// KindGrep scans input and keeps a tiny matching fraction.
+	KindGrep JobKind = iota
+	// KindWordCount aggregates with a combiner (large map-side reduction).
+	KindWordCount
+	// KindJoin re-keys two inputs and shuffles nearly everything.
+	KindJoin
+	// KindSort is a total-order sort: shuffle == input, output == input.
+	KindSort
+	// KindMLIteration is CPU-heavy per record with small output.
+	KindMLIteration
+
+	NumJobKinds = int(KindMLIteration) + 1
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case KindGrep:
+		return "grep"
+	case KindWordCount:
+		return "wordcount"
+	case KindJoin:
+		return "join"
+	case KindSort:
+		return "sort"
+	case KindMLIteration:
+		return "ml-iteration"
+	default:
+		return fmt.Sprintf("jobkind(%d)", int(k))
+	}
+}
+
+// Job is one MapReduce job specification — everything known BEFORE the
+// job runs (the pre-execution information the paper insists on).
+type Job struct {
+	Kind JobKind
+	// InputBytes is the total input size.
+	InputBytes float64
+	// RecordBytes is the average input record width.
+	RecordBytes float64
+	// Reducers is the configured reduce task count.
+	Reducers int
+	// MapSelectivity is the configured estimate of map output bytes per
+	// input byte (after the combiner, if any).
+	MapSelectivity float64
+	// CPUPerRecordUS is the configured estimate of map CPU microseconds
+	// per record (job.xml-style hint).
+	CPUPerRecordUS float64
+	// Combiner reports whether a combiner is enabled.
+	Combiner bool
+}
+
+// Validate checks the specification.
+func (j Job) Validate() error {
+	if j.InputBytes <= 0 {
+		return fmt.Errorf("mapreduce: nonpositive input size %v", j.InputBytes)
+	}
+	if j.RecordBytes <= 0 {
+		return fmt.Errorf("mapreduce: nonpositive record size %v", j.RecordBytes)
+	}
+	if j.Reducers <= 0 {
+		return fmt.Errorf("mapreduce: nonpositive reducer count %d", j.Reducers)
+	}
+	if j.MapSelectivity < 0 {
+		return fmt.Errorf("mapreduce: negative selectivity %v", j.MapSelectivity)
+	}
+	return nil
+}
+
+// Records is the input record count.
+func (j Job) Records() float64 { return j.InputBytes / j.RecordBytes }
+
+// Template generates randomized job instances of one kind.
+type Template struct {
+	Name string
+	Kind JobKind
+	Gen  func(r *statutil.RNG) Job
+}
+
+// Templates returns the built-in job templates. Input sizes span three
+// orders of magnitude, mirroring the feather-to-bowling-ball spread of the
+// query workload.
+func Templates() []Template {
+	gb := func(v float64) float64 { return v * 1e9 }
+	return []Template{
+		{Name: "grep_logs", Kind: KindGrep, Gen: func(r *statutil.RNG) Job {
+			return Job{
+				Kind:           KindGrep,
+				InputBytes:     gb(r.Uniform(1, 400)),
+				RecordBytes:    r.Uniform(80, 400),
+				Reducers:       1,
+				MapSelectivity: math.Pow(10, r.Uniform(-4, -2)),
+				CPUPerRecordUS: r.Uniform(1, 4),
+			}
+		}},
+		{Name: "wordcount", Kind: KindWordCount, Gen: func(r *statutil.RNG) Job {
+			return Job{
+				Kind:           KindWordCount,
+				InputBytes:     gb(r.Uniform(1, 300)),
+				RecordBytes:    r.Uniform(60, 200),
+				Reducers:       r.IntBetween(4, 64),
+				MapSelectivity: r.Uniform(0.02, 0.15),
+				CPUPerRecordUS: r.Uniform(3, 10),
+				Combiner:       true,
+			}
+		}},
+		{Name: "fact_join", Kind: KindJoin, Gen: func(r *statutil.RNG) Job {
+			return Job{
+				Kind:           KindJoin,
+				InputBytes:     gb(r.Uniform(5, 600)),
+				RecordBytes:    r.Uniform(100, 500),
+				Reducers:       r.IntBetween(16, 256),
+				MapSelectivity: r.Uniform(0.8, 1.1),
+				CPUPerRecordUS: r.Uniform(2, 6),
+			}
+		}},
+		{Name: "terasort", Kind: KindSort, Gen: func(r *statutil.RNG) Job {
+			return Job{
+				Kind:           KindSort,
+				InputBytes:     gb(r.Uniform(10, 1000)),
+				RecordBytes:    100,
+				Reducers:       r.IntBetween(32, 512),
+				MapSelectivity: 1,
+				CPUPerRecordUS: r.Uniform(1, 3),
+			}
+		}},
+		{Name: "model_training", Kind: KindMLIteration, Gen: func(r *statutil.RNG) Job {
+			return Job{
+				Kind:           KindMLIteration,
+				InputBytes:     gb(r.Uniform(1, 150)),
+				RecordBytes:    r.Uniform(200, 2000),
+				Reducers:       r.IntBetween(1, 8),
+				MapSelectivity: math.Pow(10, r.Uniform(-4, -2.5)),
+				CPUPerRecordUS: r.Uniform(40, 400),
+			}
+		}},
+	}
+}

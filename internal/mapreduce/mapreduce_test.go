@@ -1,0 +1,295 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/knn"
+	"repro/internal/statutil"
+)
+
+func genHistory(t *testing.T, seed int64, n int, c Cluster) []Executed {
+	t.Helper()
+	tpls := Templates()
+	out := make([]Executed, 0, n)
+	for i := 0; i < n; i++ {
+		tpl := tpls[i%len(tpls)]
+		r := statutil.NewRNG(seed, "mrjob:"+tpl.Name).Derive(string(rune('a' + i%26)))
+		_ = r
+		rr := statutil.NewRNG(seed+int64(i), "mrjob:"+tpl.Name)
+		job := tpl.Gen(rr)
+		m, err := Run(job, c, 99, statutil.NewRNG(seed+int64(i), "mrnoise"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Executed{Job: job, Metrics: m})
+	}
+	return out
+}
+
+func TestJobValidate(t *testing.T) {
+	good := Templates()[0].Gen(statutil.NewRNG(1, "t"))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.InputBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero input accepted")
+	}
+	bad = good
+	bad.Reducers = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero reducers accepted")
+	}
+	bad = good
+	bad.RecordBytes = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative record size accepted")
+	}
+	bad = good
+	bad.MapSelectivity = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative selectivity accepted")
+	}
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	c := SmallCluster()
+	for _, tpl := range Templates() {
+		r := statutil.NewRNG(2, "inv:"+tpl.Name)
+		for i := 0; i < 5; i++ {
+			j := tpl.Gen(r)
+			m, err := Run(j, c, 1, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", tpl.Name, err)
+			}
+			if m.ElapsedSec <= 0 || m.MapTasks < 1 || m.ReduceTasks < 1 {
+				t.Fatalf("%s: degenerate metrics %+v", tpl.Name, m)
+			}
+			if m.HDFSBytes != j.InputBytes {
+				t.Fatalf("%s: HDFS bytes %v != input %v", tpl.Name, m.HDFSBytes, j.InputBytes)
+			}
+			if m.ShuffleBytes < 0 || m.CPUSeconds < 0 {
+				t.Fatalf("%s: negative metrics %+v", tpl.Name, m)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicWithoutNoise(t *testing.T) {
+	c := SmallCluster()
+	j := Templates()[1].Gen(statutil.NewRNG(3, "det"))
+	a, err := Run(j, c, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(j, c, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("noiseless run must be deterministic")
+	}
+	// Different data realizations differ.
+	d, err := Run(j, c, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Error("different seeds should change actual behaviour")
+	}
+}
+
+func TestLargerClusterFaster(t *testing.T) {
+	j := Templates()[3].Gen(statutil.NewRNG(4, "scale")) // terasort
+	small, err := Run(j, SmallCluster(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(j, LargeCluster(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.ElapsedSec >= small.ElapsedSec {
+		t.Errorf("100 nodes (%vs) should beat 10 nodes (%vs)", large.ElapsedSec, small.ElapsedSec)
+	}
+	if small.MapTasks != large.MapTasks {
+		t.Error("task counts should not depend on cluster size")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	j := Templates()[0].Gen(statutil.NewRNG(5, "err"))
+	if _, err := Run(Job{}, SmallCluster(), 1, nil); err == nil {
+		t.Error("invalid job accepted")
+	}
+	if _, err := Run(j, Cluster{}, 1, nil); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func TestFeatureVector(t *testing.T) {
+	j := Templates()[1].Gen(statutil.NewRNG(6, "fv"))
+	f := FeatureVector(j)
+	if len(f) != NumJobKinds+6 {
+		t.Fatalf("feature length = %d", len(f))
+	}
+	if len(FeatureNames()) != len(f) {
+		t.Fatal("names length mismatch")
+	}
+	// One-hot kind.
+	ones := 0
+	for k := 0; k < NumJobKinds; k++ {
+		if f[k] == 1 {
+			ones++
+		} else if f[k] != 0 {
+			t.Fatalf("one-hot slot %d = %v", k, f[k])
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("one-hot count = %d", ones)
+	}
+	if !j.Combiner {
+		t.Skip("template changed")
+	}
+	if f[len(f)-1] != 1 {
+		t.Error("combiner flag not set")
+	}
+}
+
+func TestMetricsVectorRoundTrip(t *testing.T) {
+	m := JobMetrics{1, 2, 3, 4, 5, 6, 7}
+	if got := JobMetricsFromVector(m.Vector()); got != m {
+		t.Errorf("round trip failed: %+v", got)
+	}
+	if len(JobMetricNames) != NumJobMetrics {
+		t.Error("metric names mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short vector should panic")
+		}
+	}()
+	JobMetricsFromVector([]float64{1})
+}
+
+func TestPredictorAccuracy(t *testing.T) {
+	c := SmallCluster()
+	train := genHistory(t, 10, 300, c)
+	test := genHistory(t, 5000, 40, c)
+
+	p, err := Train(train, knn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 300 {
+		t.Errorf("N = %d", p.N())
+	}
+	var pred, act []float64
+	for _, ex := range test {
+		m, err := p.Predict(ex.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred = append(pred, m.ElapsedSec)
+		act = append(act, ex.Metrics.ElapsedSec)
+		for _, v := range m.Vector() {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad predicted metric %v", v)
+			}
+		}
+	}
+	risk := eval.PredictiveRisk(pred, act)
+	if risk < 0.5 {
+		t.Errorf("elapsed predictive risk = %v, want informative predictions", risk)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, knn.Options{}); err == nil {
+		t.Error("empty history accepted")
+	}
+	c := SmallCluster()
+	hist := genHistory(t, 11, 10, c)
+	hist[0].Job.InputBytes = 0
+	if _, err := Train(hist, knn.Options{}); err == nil {
+		t.Error("invalid training job accepted")
+	}
+}
+
+func TestJobKindString(t *testing.T) {
+	if KindGrep.String() != "grep" || KindSort.String() != "terasort" && KindSort.String() != "sort" {
+		t.Error("kind names wrong")
+	}
+	if JobKind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+// TestCrossClusterWhatIf mirrors the example: train one predictor per
+// cluster and verify the predicted workload totals track the truth on both
+// clusters, preserving the speedup direction.
+func TestCrossClusterWhatIf(t *testing.T) {
+	dev, prod := SmallCluster(), LargeCluster()
+	devTrain := genHistory(t, 20, 250, dev)
+	prodTrain := genHistoryOn(t, 21, 250, prod)
+	test := genHistory(t, 6000, 30, dev)
+	prodTest := replay(t, test, prod)
+
+	devP, err := Train(devTrain, knn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodP, err := Train(prodTrain, knn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devPred, devAct, prodPred, prodAct float64
+	for i, ex := range test {
+		dp, err := devP.Predict(ex.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := prodP.Predict(ex.Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devPred += dp.ElapsedSec
+		devAct += ex.Metrics.ElapsedSec
+		prodPred += pp.ElapsedSec
+		prodAct += prodTest[i].Metrics.ElapsedSec
+	}
+	relErr := func(p, a float64) float64 { return math.Abs(p-a) / a }
+	if relErr(devPred, devAct) > 0.35 {
+		t.Errorf("dev total off by %.0f%%", relErr(devPred, devAct)*100)
+	}
+	if relErr(prodPred, prodAct) > 0.35 {
+		t.Errorf("prod total off by %.0f%%", relErr(prodPred, prodAct)*100)
+	}
+	// The predicted speedup direction must be right.
+	if prodPred >= devPred {
+		t.Errorf("predictions should show the large cluster is faster: %v vs %v", prodPred, devPred)
+	}
+}
+
+// genHistoryOn is genHistory with its own seed base on another cluster.
+func genHistoryOn(t *testing.T, seed int64, n int, c Cluster) []Executed {
+	t.Helper()
+	return genHistory(t, seed, n, c)
+}
+
+// replay reruns the same jobs on another cluster.
+func replay(t *testing.T, hist []Executed, c Cluster) []Executed {
+	t.Helper()
+	out := make([]Executed, len(hist))
+	for i, ex := range hist {
+		m, err := Run(ex.Job, c, 99, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = Executed{Job: ex.Job, Metrics: m}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/kcca"
+	"repro/internal/kernels"
+	"repro/internal/knn"
+	"repro/internal/linalg"
+)
+
+// FeatureVector is the domain-customized job feature vector: everything
+// known before the job runs. As the paper's conclusion argues, this vector
+// is the ONLY piece that changes between the query domain and this one —
+// the KCCA + kNN machinery is reused untouched.
+//
+// Layout: one-hot job kind, log input bytes, log record count, log
+// reducers, log configured shuffle estimate, log configured CPU estimate,
+// combiner flag.
+func FeatureVector(j Job) []float64 {
+	f := make([]float64, NumJobKinds+6)
+	f[int(j.Kind)] = 1
+	f[NumJobKinds+0] = math.Log1p(j.InputBytes)
+	f[NumJobKinds+1] = math.Log1p(j.Records())
+	f[NumJobKinds+2] = math.Log1p(float64(j.Reducers))
+	f[NumJobKinds+3] = math.Log1p(j.InputBytes * j.MapSelectivity)
+	f[NumJobKinds+4] = math.Log1p(j.CPUPerRecordUS)
+	if j.Combiner {
+		f[NumJobKinds+5] = 1
+	}
+	return f
+}
+
+// FeatureNames lists the job feature vector elements.
+func FeatureNames() []string {
+	names := make([]string, 0, NumJobKinds+6)
+	for k := 0; k < NumJobKinds; k++ {
+		names = append(names, "kind_"+JobKind(k).String())
+	}
+	return append(names,
+		"log_input_bytes", "log_records", "log_reducers",
+		"log_shuffle_estimate", "log_cpu_estimate", "combiner")
+}
+
+// Executed pairs a job with its measured metrics (one training example).
+type Executed struct {
+	Job     Job
+	Metrics JobMetrics
+}
+
+// Predictor predicts job metrics before execution using KCCA + kNN.
+type Predictor struct {
+	model *kcca.Model
+	raw   *linalg.Matrix
+	knn   knn.Options
+}
+
+// Train fits a predictor on executed jobs. opt zero-values select the
+// paper's defaults (k = 3 Euclidean equal-weighted neighbors).
+func Train(history []Executed, opt knn.Options) (*Predictor, error) {
+	if len(history) < 5 {
+		return nil, errors.New("mapreduce: need at least five executed jobs")
+	}
+	if opt.K <= 0 {
+		opt = knn.DefaultOptions()
+	}
+	x := linalg.NewMatrix(len(history), NumJobKinds+6)
+	y := linalg.NewMatrix(len(history), NumJobMetrics)
+	raw := linalg.NewMatrix(len(history), NumJobMetrics)
+	for i, ex := range history {
+		if err := ex.Job.Validate(); err != nil {
+			return nil, fmt.Errorf("mapreduce: training job %d: %w", i, err)
+		}
+		copy(x.Row(i), FeatureVector(ex.Job))
+		for m, v := range ex.Metrics.Vector() {
+			y.Set(i, m, math.Log1p(v))
+			raw.Set(i, m, v)
+		}
+	}
+	// The job feature space is compact (log-scaled sizes plus one-hot
+	// kinds), so the paper's norm-variance kernel heuristic degenerates;
+	// use the median pairwise distance instead.
+	kopt := kcca.DefaultOptions()
+	kopt.TauX = kernels.MedianSqDist(x)
+	kopt.TauY = kernels.MedianSqDist(y)
+	model, err := kcca.Train(x, y, kopt)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: KCCA training: %w", err)
+	}
+	return &Predictor{model: model, raw: raw, knn: opt}, nil
+}
+
+// Predict returns the predicted metrics of an unexecuted job.
+func (p *Predictor) Predict(j Job) (JobMetrics, error) {
+	if err := j.Validate(); err != nil {
+		return JobMetrics{}, err
+	}
+	proj := p.model.ProjectQuery(FeatureVector(j))
+	vals, _, err := knn.Predict(p.model.QueryProj, p.raw, proj, p.knn)
+	if err != nil {
+		return JobMetrics{}, err
+	}
+	return JobMetricsFromVector(vals), nil
+}
+
+// N returns the training set size.
+func (p *Predictor) N() int { return p.model.N() }

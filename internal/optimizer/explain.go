@@ -1,0 +1,37 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan as an EXPLAIN-style listing: one row per
+// operator with estimated and actual cardinalities, output width, and the
+// operator's own optimizer-cost contribution. It is what cmd/qpredict -v
+// prints and what a downstream user would reach for first when a
+// prediction looks off.
+func Explain(p *Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan cost=%.1f  tables=%s\n", p.Cost, strings.Join(p.Tables, ","))
+	fmt.Fprintf(&sb, "%-40s %12s %12s %8s %10s\n", "operator", "est rows", "act rows", "width", "cost")
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		label := strings.Repeat("  ", depth) + n.Op.String()
+		if n.Table != "" {
+			label += " [" + n.Table + "]"
+		}
+		if n.Broadcast {
+			label += " (broadcast)"
+		}
+		if n.Pairwise {
+			label += " (pairwise)"
+		}
+		fmt.Fprintf(&sb, "%-40s %12.0f %12.0f %8d %10.1f\n",
+			label, n.EstRows, n.ActRows, n.Width, NodeCost(n))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+// Package optimizer implements the cost-based query optimizer substrate:
+// logical-to-physical planning over the catalog schemas, selectivity and
+// cardinality estimation (with the systematic estimation errors the paper
+// attributes to real optimizers — independence assumptions, uniformity
+// assumptions, stale statistics), greedy join ordering, parallel plan
+// decoration with exchange/split/partition operators, and a scalar cost
+// estimate in optimizer units (the Fig. 17 baseline).
+//
+// Each plan node carries two cardinalities: the optimizer's estimate
+// (computed under the erroneous assumptions, used for the plan feature
+// vector and the cost estimate) and the true cardinality (computed from the
+// full statistics including skew and correlation, consumed by the execution
+// simulator). Deriving both from the same underlying statistics through
+// different distortions preserves the property the paper relies on: the
+// estimation errors are systematic, so queries with similar plans and
+// similar estimates behave similarly at runtime.
+package optimizer
+
+import "fmt"
+
+// OpType enumerates the physical plan operators (the Neoview-style operator
+// vocabulary of the paper's Fig. 9).
+type OpType int
+
+const (
+	OpRoot OpType = iota
+	OpExchange
+	OpSplit
+	OpPartition
+	OpFileScan
+	OpNestedJoin
+	OpHashJoin
+	OpSemiJoin
+	OpSort
+	OpHashGroupBy
+	OpScalarAgg
+	OpTopN
+
+	// NumOpTypes is the number of physical operator types; feature vectors
+	// have one (count, cardinality-sum) pair per type.
+	NumOpTypes = int(OpTopN) + 1
+)
+
+var opNames = [NumOpTypes]string{
+	"root",
+	"exchange",
+	"split",
+	"partitioning",
+	"file_scan",
+	"nested_join",
+	"hash_join",
+	"semi_join",
+	"sort",
+	"hashgroupby",
+	"scalar_agg",
+	"top_n",
+}
+
+func (op OpType) String() string {
+	if op < 0 || int(op) >= NumOpTypes {
+		return fmt.Sprintf("optype(%d)", int(op))
+	}
+	return opNames[op]
+}
+
+// AllOpTypes returns every operator type in feature-vector order.
+func AllOpTypes() []OpType {
+	out := make([]OpType, NumOpTypes)
+	for i := range out {
+		out[i] = OpType(i)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package optimizer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+	"repro/internal/statutil"
+	"repro/internal/workload"
+)
+
+// totalIntermediate sums the estimated output rows of every join node —
+// the DP ordering objective.
+func totalIntermediate(p *Plan) float64 {
+	s := 0.0
+	p.Root.Walk(func(n *Node) {
+		switch n.Op {
+		case OpHashJoin, OpNestedJoin, OpSemiJoin:
+			s += n.EstRows
+		}
+	})
+	return s
+}
+
+func TestDPOrderingNeverWorseThanGreedy(t *testing.T) {
+	templates := workload.TPCDSTemplates()
+	prop := func(seed int64, tplIdx uint8) bool {
+		tpl := templates[int(tplIdx)%len(templates)]
+		r := statutil.NewRNG(seed, "dp:"+tpl.Name)
+		q := tpl.Gen(r)
+
+		greedyCfg := DefaultConfig(4)
+		dpCfg := DefaultConfig(4)
+		dpCfg.JoinOrdering = OrderDP
+
+		pg, err := BuildPlan(q, testSchema, 3, greedyCfg)
+		if err != nil {
+			t.Logf("greedy plan error: %v", err)
+			return false
+		}
+		pd, err := BuildPlan(q, testSchema, 3, dpCfg)
+		if err != nil {
+			t.Logf("DP plan error: %v", err)
+			return false
+		}
+		if err := pd.Validate(); err != nil {
+			t.Logf("DP plan invalid: %v", err)
+			return false
+		}
+		// The DP objective (total estimated intermediate rows) must be no
+		// worse than greedy's, with a tiny tolerance for floating point.
+		return totalIntermediate(pd) <= totalIntermediate(pg)*(1+1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPFindsBetterOrderWhereGreedyFails(t *testing.T) {
+	// A four-way chain join where greedily starting from the smallest
+	// filtered relation is suboptimal: greedy picks the locally smallest
+	// first join, DP weighs the whole chain.
+	sqlText := "SELECT COUNT(*) FROM store_sales, item, customer, customer_address " +
+		"WHERE ss_item_sk = i_item_sk AND ss_customer_sk = c_customer_sk " +
+		"AND c_current_addr_sk = ca_address_sk AND ca_state = 'v5' AND i_category = 'v3'"
+	q, err := sqlparse.Parse(sqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := BuildPlan(q, testSchema, 3, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpCfg := DefaultConfig(4)
+	dpCfg.JoinOrdering = OrderDP
+	dp, err := BuildPlan(q, testSchema, 3, dpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalIntermediate(dp) > totalIntermediate(greedy) {
+		t.Errorf("DP intermediate rows (%v) exceed greedy (%v)",
+			totalIntermediate(dp), totalIntermediate(greedy))
+	}
+}
+
+func TestDPFallsBackForHugeJoins(t *testing.T) {
+	// More FROM entries than maxDPRelations: must still plan (greedy
+	// fallback) without exponential blowup.
+	sqlText := "SELECT COUNT(*) FROM store_sales, item, customer, customer_address, store, promotion, " +
+		"household_demographics, income_band, date_dim, time_dim, warehouse, ship_mode, reason " +
+		"WHERE ss_item_sk = i_item_sk AND ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk " +
+		"AND ss_store_sk = s_store_sk AND ss_promo_sk = p_promo_sk AND c_current_hdemo_sk = hd_demo_sk " +
+		"AND hd_income_band_sk = ib_income_band_sk AND ss_sold_date_sk = d_date_sk AND ss_sold_time_sk = t_time_sk"
+	q, err := sqlparse.Parse(sqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	cfg.JoinOrdering = OrderDP
+	p, err := BuildPlan(q, testSchema, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Root.Scans()) != 13 {
+		t.Errorf("scans = %d, want 13", len(p.Root.Scans()))
+	}
+}

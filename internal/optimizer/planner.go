@@ -1,0 +1,556 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlgen"
+)
+
+// Config holds the planner knobs that depend on the target machine. The
+// paper observes that plans for the 4-node system differ from plans for the
+// 32-node system; these knobs are why our plans differ too.
+type Config struct {
+	// Processors is the number of CPUs the query may use.
+	Processors int
+	// BroadcastRows is the largest (estimated) inner cardinality for which
+	// the planner replicates the inner side of a join to all processors
+	// and uses a nested join instead of repartitioning both sides into a
+	// hash join. Zero selects the default.
+	BroadcastRows float64
+	// JoinOrdering selects the join enumeration strategy.
+	JoinOrdering JoinOrdering
+}
+
+// JoinOrdering selects how the planner orders joins.
+type JoinOrdering int
+
+const (
+	// OrderGreedy is the default smallest-result-first heuristic.
+	OrderGreedy JoinOrdering = iota
+	// OrderDP enumerates left-deep orders with dynamic programming,
+	// minimizing total estimated intermediate cardinality (capped at
+	// maxDPRelations relations; larger queries fall back to greedy).
+	OrderDP
+)
+
+// DefaultConfig returns planner settings for a machine with p processors.
+func DefaultConfig(p int) Config {
+	if p <= 0 {
+		p = 4
+	}
+	return Config{Processors: p, BroadcastRows: 3000 * float64(p)}
+}
+
+func (c Config) broadcastRows() float64 {
+	if c.BroadcastRows > 0 {
+		return c.BroadcastRows
+	}
+	return 3000 * float64(c.Processors)
+}
+
+// BuildPlan compiles the query into a parallel physical plan against the
+// schema. The seed selects the data realization (see Estimator). The
+// returned plan carries both estimated and actual cardinalities on every
+// node plus the optimizer's scalar cost estimate.
+func BuildPlan(q *sqlgen.Query, schema *catalog.Schema, seed int64, cfg Config) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	est := &Estimator{Schema: schema, Seed: seed}
+	p := &planner{q: q, schema: schema, est: est, cfg: cfg}
+	return p.plan()
+}
+
+type planner struct {
+	q      *sqlgen.Query
+	schema *catalog.Schema
+	est    *Estimator
+	cfg    Config
+}
+
+// joinItem is a subtree participating in join ordering together with the
+// FROM names (aliases) it covers.
+type joinItem struct {
+	node  *Node
+	names map[string]bool
+}
+
+func (p *planner) plan() (*Plan, error) {
+	// Resolve FROM names to tables.
+	fromTables := map[string]string{} // FROM name -> table name
+	for _, t := range p.q.From {
+		if p.schema.Table(t.Table) == nil {
+			return nil, fmt.Errorf("optimizer: unknown table %q", t.Table)
+		}
+		fromTables[t.Name()] = t.Table
+	}
+	resolve := func(c sqlgen.ColumnRef) (fromName, tableName string, err error) {
+		if c.Table != "" {
+			tab, ok := fromTables[c.Table]
+			if !ok {
+				return "", "", fmt.Errorf("optimizer: column %s references unknown FROM name", c)
+			}
+			return c.Table, tab, nil
+		}
+		for name, tab := range fromTables {
+			if p.schema.Table(tab).Column(c.Column) != nil {
+				return name, tab, nil
+			}
+		}
+		return "", "", fmt.Errorf("optimizer: cannot resolve column %q", c.Column)
+	}
+
+	// Resolve output and ordering columns so unknown columns are rejected.
+	for _, it := range p.q.Select {
+		if it.Agg == sqlgen.AggCountStar {
+			continue
+		}
+		if _, _, err := resolve(it.Col); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range p.q.OrderBy {
+		if _, _, err := resolve(o.Col); err != nil {
+			return nil, err
+		}
+	}
+
+	// Distribute WHERE predicates to their tables; pull out subquery
+	// predicates for semi-join treatment.
+	type subqueryPred struct {
+		fromName string
+		column   string
+		sub      *sqlgen.Query
+	}
+	tablePreds := map[string][]sqlgen.Predicate{}
+	var inSubs []subqueryPred
+	var existsSubs []*sqlgen.Query
+	for _, pred := range p.q.Where {
+		if pred.Exists {
+			existsSubs = append(existsSubs, pred.Subquery)
+			continue
+		}
+		name, _, err := resolve(pred.Col)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Subquery != nil {
+			inSubs = append(inSubs, subqueryPred{fromName: name, column: pred.Col.Column, sub: pred.Subquery})
+			continue
+		}
+		tablePreds[name] = append(tablePreds[name], pred)
+	}
+
+	// Build one scan (plus possible semi-joins) per FROM entry.
+	items := make([]*joinItem, 0, len(p.q.From))
+	byName := map[string]*joinItem{}
+	var tables []string
+	for _, t := range p.q.From {
+		name := t.Name()
+		in, out, err := p.est.ScanCards(t.Table, tablePreds[name])
+		if err != nil {
+			return nil, err
+		}
+		scan := &Node{
+			Op:        OpFileScan,
+			Table:     t.Table,
+			EstRowsIn: in.Est, ActRowsIn: in.Act,
+			EstRows: out.Est, ActRows: out.Act,
+			Width: p.schema.Table(t.Table).RowWidth(),
+		}
+		item := &joinItem{node: scan, names: map[string]bool{name: true}}
+		items = append(items, item)
+		byName[name] = item
+		tables = append(tables, t.Table)
+	}
+
+	// IN-subquery predicates become semi-joins above the owning scan.
+	for _, sp := range inSubs {
+		subPlan, err := BuildPlan(sp.sub, p.schema, p.est.Seed, p.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: subquery: %w", err)
+		}
+		item := byName[sp.fromName]
+		outer := item.node
+		outerCard := Card{Est: outer.EstRows, Act: outer.ActRows}
+		subRoot := stripRoot(subPlan.Root)
+		subCard := Card{Est: subRoot.EstRows, Act: subRoot.ActRows}
+		out := p.est.SemiJoinCards(fromTables[sp.fromName], sp.column, outerCard, subCard)
+		item.node = &Node{
+			Op:        OpSemiJoin,
+			EstRowsIn: outer.EstRows + subRoot.EstRows,
+			ActRowsIn: outer.ActRows + subRoot.ActRows,
+			EstRows:   out.Est, ActRows: out.Act,
+			Width:    outer.Width,
+			Children: []*Node{outer, p.repartition(subRoot, false)},
+		}
+		tables = append(tables, collectTables(subRoot)...)
+	}
+
+	// Group join predicates by the unordered pair of FROM names they
+	// connect.
+	edges := map[string]*edge{}
+	for _, j := range p.q.Joins {
+		an, at, err := resolve(j.Left)
+		if err != nil {
+			return nil, err
+		}
+		bn, bt, err := resolve(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		if an == bn {
+			// Self-comparison within one table: treat as a generic filter
+			// with a keyed selectivity on the actual side.
+			item := byName[an]
+			item.node.EstRows = floorOne(item.node.EstRows / 3)
+			item.node.ActRows = floorOne(item.node.ActRows * p.est.surprise(0.5, at, j.Left.Column, "selfcmp") / 3)
+			continue
+		}
+		key := an + "\x00" + bn
+		if bn < an {
+			key = bn + "\x00" + an
+		}
+		rj := resolvedJoin{pred: j, leftTable: at, rightTable: bt}
+		if e, ok := edges[key]; ok {
+			e.preds = append(e.preds, rj)
+		} else {
+			edges[key] = &edge{a: an, b: bn, preds: []resolvedJoin{rj}}
+		}
+	}
+
+	// Join ordering: enumerate a left-deep join order, minimizing total
+	// estimated intermediate cardinality. The default is the greedy
+	// heuristic (commercial heuristic planners of the period behaved this
+	// way); exhaustive Selinger-style dynamic programming is available via
+	// Config.JoinOrdering for small join graphs.
+	findEdge := func(l, r *joinItem) *edge {
+		for _, e := range edges {
+			if (l.names[e.a] && r.names[e.b]) || (l.names[e.b] && r.names[e.a]) {
+				return e
+			}
+		}
+		return nil
+	}
+	var current *joinItem
+	if p.cfg.JoinOrdering == OrderDP && len(items) <= maxDPRelations {
+		current = p.orderDP(items, findEdge)
+	} else {
+		current = p.orderGreedy(items, findEdge)
+	}
+	tree := current.node
+
+	// Uncorrelated EXISTS subqueries: evaluated once, filtering nothing in
+	// expectation but contributing their subplan's work.
+	for _, sub := range existsSubs {
+		subPlan, err := BuildPlan(sub, p.schema, p.est.Seed, p.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: EXISTS subquery: %w", err)
+		}
+		subRoot := stripRoot(subPlan.Root)
+		tree = &Node{
+			Op:        OpSemiJoin,
+			EstRowsIn: tree.EstRows + subRoot.EstRows,
+			ActRowsIn: tree.ActRows + subRoot.ActRows,
+			EstRows:   tree.EstRows, ActRows: tree.ActRows,
+			Width:    tree.Width,
+			Children: []*Node{tree, p.repartition(subRoot, false)},
+		}
+		tables = append(tables, collectTables(subRoot)...)
+	}
+
+	// Aggregation.
+	if len(p.q.GroupBy) > 0 {
+		var bindings []columnBinding
+		for _, g := range p.q.GroupBy {
+			_, tab, err := resolve(g)
+			if err != nil {
+				return nil, err
+			}
+			bindings = append(bindings, columnBinding{table: tab, column: g.Column})
+		}
+		ndv := p.est.GroupNDV(bindings)
+		out := p.est.GroupCards(ndv, Card{Est: tree.EstRows, Act: tree.ActRows})
+		// Parallel aggregation repartitions its input by the grouping key.
+		tree = p.repartition(tree, false)
+		tree = &Node{
+			Op:        OpHashGroupBy,
+			EstRowsIn: tree.EstRows, ActRowsIn: tree.ActRows,
+			EstRows: out.Est, ActRows: out.Act,
+			Width:     16*len(p.q.GroupBy) + 8*len(p.q.Select),
+			GroupCols: len(p.q.GroupBy),
+			Children:  []*Node{tree},
+		}
+	} else if p.q.HasAggregate() {
+		tree = &Node{
+			Op:        OpScalarAgg,
+			EstRowsIn: tree.EstRows, ActRowsIn: tree.ActRows,
+			EstRows: 1, ActRows: 1,
+			Width:    8 * len(p.q.Select),
+			Children: []*Node{tree},
+		}
+	}
+
+	// Ordering and limit.
+	if len(p.q.OrderBy) > 0 {
+		tree = &Node{
+			Op:        OpSort,
+			EstRowsIn: tree.EstRows, ActRowsIn: tree.ActRows,
+			EstRows: tree.EstRows, ActRows: tree.ActRows,
+			Width:    tree.Width,
+			SortCols: len(p.q.OrderBy),
+			Children: []*Node{tree},
+		}
+	}
+	if p.q.Limit > 0 {
+		lim := float64(p.q.Limit)
+		tree = &Node{
+			Op:        OpTopN,
+			EstRowsIn: tree.EstRows, ActRowsIn: tree.ActRows,
+			EstRows: math.Min(lim, tree.EstRows), ActRows: math.Min(lim, tree.ActRows),
+			Width:    tree.Width,
+			SortCols: len(p.q.OrderBy),
+			Children: []*Node{tree},
+		}
+	}
+
+	// Merge results to the coordinator.
+	tree = &Node{
+		Op:        OpExchange,
+		EstRowsIn: tree.EstRows, ActRowsIn: tree.ActRows,
+		EstRows: tree.EstRows, ActRows: tree.ActRows,
+		Width:    tree.Width,
+		Children: []*Node{tree},
+	}
+	root := &Node{
+		Op:        OpRoot,
+		EstRowsIn: tree.EstRows, ActRowsIn: tree.ActRows,
+		EstRows: tree.EstRows, ActRows: tree.ActRows,
+		Width:    tree.Width,
+		Children: []*Node{tree},
+	}
+
+	plan := &Plan{Root: root, Tables: tables}
+	plan.Cost = ScalarCost(root)
+	return plan, nil
+}
+
+// joinCard computes the output cardinality of joining items l and r via the
+// predicates on edge e.
+func (p *planner) joinCard(e *edge, l, r *joinItem) Card {
+	out := Card{Est: 0, Act: 0}
+	for i, rj := range e.preds {
+		if i == 0 {
+			out = p.est.JoinCards(rj.pred, rj.leftTable, rj.rightTable,
+				Card{Est: l.node.EstRows, Act: l.node.ActRows},
+				Card{Est: r.node.EstRows, Act: r.node.ActRows})
+		} else {
+			// Additional predicates between the same pair act as filters.
+			extra := p.est.JoinCards(rj.pred, rj.leftTable, rj.rightTable, out, Card{Est: 1, Act: 1})
+			out = Card{Est: floorOne(extra.Est), Act: floorOne(extra.Act)}
+		}
+	}
+	return out
+}
+
+// joinItems builds the physical join node combining l and r.
+func (p *planner) joinItems(l, r *joinItem, e *edge) *joinItem {
+	var out Card
+	equiOnly := true
+	if e != nil {
+		out = p.joinCard(e, l, r)
+		for _, rj := range e.preds {
+			if rj.pred.Op != sqlgen.OpEq {
+				equiOnly = false
+			}
+		}
+	} else {
+		out = Card{Est: l.node.EstRows * r.node.EstRows, Act: l.node.ActRows * r.node.ActRows}
+		equiOnly = false // cross product runs as a nested join
+	}
+
+	// Keep the smaller (estimated) side as the inner/build side.
+	outer, inner := l.node, r.node
+	if outer.EstRows < inner.EstRows {
+		outer, inner = inner, outer
+	}
+
+	var join *Node
+	if equiOnly && inner.EstRows > p.cfg.broadcastRows() {
+		// Repartition both sides on the join key and hash join.
+		join = &Node{
+			Op:       OpHashJoin,
+			Children: []*Node{p.repartition(outer, false), p.repartition(inner, false)},
+		}
+	} else {
+		// Broadcast the inner side and run a nested join. For equijoins
+		// this is the small-inner broadcast strategy; for inequality joins
+		// and cross products it is the only option.
+		join = &Node{
+			Op:       OpNestedJoin,
+			Pairwise: !equiOnly,
+			Children: []*Node{outer, p.repartition(inner, true)},
+		}
+	}
+	join.EstRowsIn = outer.EstRows + inner.EstRows
+	join.ActRowsIn = outer.ActRows + inner.ActRows
+	join.EstRows, join.ActRows = out.Est, out.Act
+	join.Width = outer.Width + inner.Width
+
+	names := map[string]bool{}
+	for n := range l.names {
+		names[n] = true
+	}
+	for n := range r.names {
+		names[n] = true
+	}
+	return &joinItem{node: join, names: names}
+}
+
+// repartition wraps child in split(partitioning(child)) — the operators
+// that move rows between processors. Broadcast partitions replicate every
+// row to all processors.
+func (p *planner) repartition(child *Node, broadcast bool) *Node {
+	part := &Node{
+		Op:        OpPartition,
+		EstRowsIn: child.EstRows, ActRowsIn: child.ActRows,
+		EstRows: child.EstRows, ActRows: child.ActRows,
+		Width:     child.Width,
+		Broadcast: broadcast,
+		Children:  []*Node{child},
+	}
+	return &Node{
+		Op:        OpSplit,
+		EstRowsIn: part.EstRows, ActRowsIn: part.ActRows,
+		EstRows: part.EstRows, ActRows: part.ActRows,
+		Width:    part.Width,
+		Children: []*Node{part},
+	}
+}
+
+// stripRoot removes a subplan's root and coordinator exchange so it can be
+// embedded under a join.
+func stripRoot(n *Node) *Node {
+	for n.Op == OpRoot || n.Op == OpExchange {
+		n = n.Children[0]
+	}
+	return n
+}
+
+func collectTables(n *Node) []string {
+	var out []string
+	n.Walk(func(m *Node) {
+		if m.Op == OpFileScan {
+			out = append(out, m.Table)
+		}
+	})
+	return out
+}
+
+// edge is the planner-internal join-graph edge type. Predicates carry the
+// resolved base-table names of both sides so cardinality estimation can
+// look up column statistics regardless of aliasing.
+type edge struct {
+	a, b  string
+	preds []resolvedJoin
+}
+
+// resolvedJoin pairs a join predicate with the resolved base tables of its
+// two sides.
+type resolvedJoin struct {
+	pred                  sqlgen.JoinPred
+	leftTable, rightTable string
+}
+
+// maxDPRelations bounds the dynamic-programming join enumerator (2^n
+// subsets); larger FROM lists fall back to the greedy heuristic.
+const maxDPRelations = 12
+
+// joinScore is the ordering objective: estimated output rows, with cross
+// products heavily penalized.
+func (p *planner) joinScore(l, r *joinItem, e *edge) (Card, float64) {
+	var out Card
+	if e != nil {
+		out = p.joinCard(e, l, r)
+		return out, out.Est
+	}
+	out = Card{Est: l.node.EstRows * r.node.EstRows, Act: l.node.ActRows * r.node.ActRows}
+	return out, out.Est * 1e6
+}
+
+// orderGreedy builds a left-deep order starting from the smallest
+// estimated item, repeatedly joining the candidate with the smallest
+// estimated result.
+func (p *planner) orderGreedy(items []*joinItem, findEdge func(l, r *joinItem) *edge) *joinItem {
+	sort.SliceStable(items, func(i, j int) bool { return items[i].node.EstRows < items[j].node.EstRows })
+	current := items[0]
+	remaining := append([]*joinItem(nil), items[1:]...)
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestScore := math.Inf(1)
+		var bestEdge *edge
+		for i, cand := range remaining {
+			e := findEdge(current, cand)
+			_, score := p.joinScore(current, cand, e)
+			if score < bestScore {
+				bestScore = score
+				bestIdx = i
+				bestEdge = e
+			}
+		}
+		next := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		current = p.joinItems(current, next, bestEdge)
+	}
+	return current
+}
+
+// orderDP enumerates left-deep join orders over subsets of the relations
+// (Selinger-style dynamic programming), minimizing the accumulated
+// estimated intermediate cardinality.
+func (p *planner) orderDP(items []*joinItem, findEdge func(l, r *joinItem) *edge) *joinItem {
+	n := len(items)
+	if n == 1 {
+		return items[0]
+	}
+	type entry struct {
+		item *joinItem
+		cost float64
+	}
+	best := make(map[uint32]entry, 1<<n)
+	for i, it := range items {
+		best[1<<uint(i)] = entry{item: it, cost: 0}
+	}
+	full := uint32(1<<uint(n)) - 1
+	for mask := uint32(1); mask <= full; mask++ {
+		if mask&(mask-1) == 0 {
+			continue // singletons seeded above
+		}
+		var choice entry
+		found := false
+		for i := 0; i < n; i++ {
+			bit := uint32(1) << uint(i)
+			if mask&bit == 0 {
+				continue
+			}
+			rest := mask &^ bit
+			left, ok := best[rest]
+			if !ok {
+				continue
+			}
+			e := findEdge(left.item, items[i])
+			_, score := p.joinScore(left.item, items[i], e)
+			cost := left.cost + score
+			if !found || cost < choice.cost {
+				joined := p.joinItems(left.item, items[i], e)
+				choice = entry{item: joined, cost: cost}
+				found = true
+			}
+		}
+		best[mask] = choice
+	}
+	return best[full].item
+}

@@ -1,0 +1,92 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Data stretched along (1,1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		tt := rng.NormFloat64() * 10
+		noise := rng.NormFloat64() * 0.1
+		x.Set(i, 0, tt+noise)
+		x.Set(i, 1, tt-noise)
+	}
+	m, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Components.Col(0)
+	// First component should align with (1,1)/√2 up to sign.
+	want := 1 / math.Sqrt2
+	if math.Abs(math.Abs(d[0])-want) > 0.01 || math.Abs(math.Abs(d[1])-want) > 0.01 {
+		t.Errorf("dominant direction = %v, want ±(0.707, 0.707)", d)
+	}
+	if m.Variances[0] < 100*m.Variances[1] {
+		t.Errorf("variance ratio too small: %v", m.Variances)
+	}
+}
+
+func TestProjectionCentersData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50
+	x := linalg.NewMatrix(n, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64() + 5 // offset mean
+	}
+	m, err := Fit(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := m.ProjectAll(x)
+	for j := 0; j < proj.Cols; j++ {
+		if mean := linalg.Mean(proj.Col(j)); math.Abs(mean) > 1e-8 {
+			t.Errorf("projected column %d mean = %v, want 0", j, mean)
+		}
+	}
+	if proj.Cols != 2 {
+		t.Errorf("projection dims = %d, want 2", proj.Cols)
+	}
+}
+
+func TestExplainedVarianceRatioSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := linalg.NewMatrix(40, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	m, err := Fit(x, 0) // all components
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := m.ExplainedVarianceRatio()
+	sum := 0.0
+	for _, r := range ratios {
+		if r < 0 {
+			t.Errorf("negative ratio %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ratios sum to %v, want 1", sum)
+	}
+	// Ratios descend with component index.
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > ratios[i-1]+1e-12 {
+			t.Errorf("ratios not sorted: %v", ratios)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(linalg.NewMatrix(1, 3), 2); err == nil {
+		t.Error("single-row fit accepted")
+	}
+}

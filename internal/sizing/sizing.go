@@ -1,0 +1,187 @@
+// Package sizing implements the paper's system-sizing and
+// capacity-planning use cases (Sec. I) as a library: given a candidate
+// workload and a set of machine configurations, predict — before buying or
+// building anything — each configuration's resource totals and recommend
+// the smallest configuration meeting the customer's constraints. This is
+// the "what-if modeling" box of the paper's Fig. 1.
+package sizing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+)
+
+// Constraint bounds a workload's predicted totals on a configuration.
+type Constraint struct {
+	// MaxTotalElapsedSec bounds the sum of predicted elapsed times (a
+	// serial batch window). Zero means unconstrained.
+	MaxTotalElapsedSec float64
+	// MaxQueryElapsedSec bounds every individual query's predicted time
+	// (an interactive SLA). Zero means unconstrained.
+	MaxQueryElapsedSec float64
+	// MaxTotalDiskIOs bounds the workload's total predicted disk I/O.
+	// Zero means unconstrained.
+	MaxTotalDiskIOs float64
+}
+
+// Candidate is one machine configuration together with the predictor
+// trained from that configuration's historical workload.
+type Candidate struct {
+	Machine   exec.Machine
+	Predictor *core.Predictor
+	// CostRank orders candidates by price; lower is cheaper. When zero
+	// for all candidates, processor count is used.
+	CostRank int
+}
+
+// Assessment is the predicted outcome of running the workload on one
+// candidate.
+type Assessment struct {
+	Machine exec.Machine
+	// Totals are the summed predicted metrics across the workload.
+	Totals exec.Metrics
+	// MaxQueryElapsedSec is the largest single predicted elapsed time.
+	MaxQueryElapsedSec float64
+	// MinConfidence is the least confident individual prediction; low
+	// values mean the workload contains queries unlike the candidate's
+	// training history.
+	MinConfidence float64
+	// Satisfies reports whether the constraint holds on the predictions.
+	Satisfies bool
+}
+
+// Plan evaluates the workload on every candidate and returns the
+// assessments (cheapest first) plus the index of the recommended
+// candidate — the cheapest whose predictions satisfy the constraint — or
+// -1 when none qualifies.
+func Plan(workload []*dataset.Query, candidates []Candidate, c Constraint) ([]Assessment, int, error) {
+	if len(workload) == 0 {
+		return nil, -1, errors.New("sizing: empty workload")
+	}
+	if len(candidates) == 0 {
+		return nil, -1, errors.New("sizing: no candidate configurations")
+	}
+	ordered := make([]Candidate, len(candidates))
+	copy(ordered, candidates)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].CostRank != ordered[j].CostRank {
+			return ordered[i].CostRank < ordered[j].CostRank
+		}
+		return ordered[i].Machine.Processors < ordered[j].Machine.Processors
+	})
+
+	out := make([]Assessment, 0, len(ordered))
+	recommended := -1
+	for idx, cand := range ordered {
+		if cand.Predictor == nil {
+			return nil, -1, fmt.Errorf("sizing: candidate %s has no predictor", cand.Machine.Name)
+		}
+		a := Assessment{Machine: cand.Machine, MinConfidence: 1}
+		for _, q := range workload {
+			pred, err := cand.Predictor.PredictQuery(q)
+			if err != nil {
+				return nil, -1, fmt.Errorf("sizing: predicting query %d on %s: %w", q.ID, cand.Machine.Name, err)
+			}
+			m := pred.Metrics
+			a.Totals.ElapsedSec += m.ElapsedSec
+			a.Totals.RecordsAccessed += m.RecordsAccessed
+			a.Totals.RecordsUsed += m.RecordsUsed
+			a.Totals.DiskIOs += m.DiskIOs
+			a.Totals.MessageCount += m.MessageCount
+			a.Totals.MessageBytes += m.MessageBytes
+			if m.ElapsedSec > a.MaxQueryElapsedSec {
+				a.MaxQueryElapsedSec = m.ElapsedSec
+			}
+			if pred.Confidence < a.MinConfidence {
+				a.MinConfidence = pred.Confidence
+			}
+		}
+		a.Satisfies = satisfies(a, c)
+		if a.Satisfies && recommended == -1 {
+			recommended = idx
+		}
+		out = append(out, a)
+	}
+	return out, recommended, nil
+}
+
+func satisfies(a Assessment, c Constraint) bool {
+	if c.MaxTotalElapsedSec > 0 && a.Totals.ElapsedSec > c.MaxTotalElapsedSec {
+		return false
+	}
+	if c.MaxQueryElapsedSec > 0 && a.MaxQueryElapsedSec > c.MaxQueryElapsedSec {
+		return false
+	}
+	if c.MaxTotalDiskIOs > 0 && a.Totals.DiskIOs > c.MaxTotalDiskIOs {
+		return false
+	}
+	return true
+}
+
+// UpgradeAdvice compares a current configuration's assessment against an
+// expected workload change and reports whether an upgrade (or downgrade)
+// is indicated — the paper's capacity-planning question "given an expected
+// change to a workload, should we upgrade (or downgrade) the existing
+// system?".
+type UpgradeAdvice int
+
+const (
+	// KeepCurrent means the current configuration satisfies the
+	// constraint with the new workload.
+	KeepCurrent UpgradeAdvice = iota
+	// Upgrade means a larger listed configuration is needed.
+	Upgrade
+	// Downgrade means a strictly cheaper configuration also satisfies
+	// the constraint.
+	Downgrade
+	// NoneSufficient means no listed configuration satisfies it.
+	NoneSufficient
+)
+
+func (u UpgradeAdvice) String() string {
+	switch u {
+	case KeepCurrent:
+		return "keep-current"
+	case Upgrade:
+		return "upgrade"
+	case Downgrade:
+		return "downgrade"
+	default:
+		return "none-sufficient"
+	}
+}
+
+// Advise runs Plan on the changed workload and interprets the result
+// relative to the current configuration (identified by machine name).
+func Advise(changed []*dataset.Query, candidates []Candidate, c Constraint, currentName string) (UpgradeAdvice, []Assessment, error) {
+	assessments, rec, err := Plan(changed, candidates, c)
+	if err != nil {
+		return NoneSufficient, nil, err
+	}
+	if rec < 0 {
+		return NoneSufficient, assessments, nil
+	}
+	currentIdx := -1
+	for i, a := range assessments {
+		if a.Machine.Name == currentName {
+			currentIdx = i
+			break
+		}
+	}
+	if currentIdx < 0 {
+		return NoneSufficient, assessments, fmt.Errorf("sizing: current configuration %q not among candidates", currentName)
+	}
+	switch {
+	case rec == currentIdx:
+		return KeepCurrent, assessments, nil
+	case rec < currentIdx:
+		return Downgrade, assessments, nil
+	default:
+		return Upgrade, assessments, nil
+	}
+}

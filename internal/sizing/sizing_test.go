@@ -1,0 +1,191 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// fixture builds predictors for two configurations plus a small workload.
+type fixture struct {
+	candidates []Candidate
+	workload   []*dataset.Query
+}
+
+var cached *fixture
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	schema := catalog.TPCDS(1)
+	var reporting []workload.Template
+	for _, tpl := range workload.TPCDSTemplates() {
+		if tpl.Class == "tpcds" {
+			reporting = append(reporting, tpl)
+		}
+	}
+	var candidates []Candidate
+	for _, procs := range []int{4, 32} {
+		m := exec.Production32(procs)
+		hist, err := dataset.Generate(dataset.GenConfig{
+			Seed: 5, DataSeed: 1000, Machine: m, Schema: schema,
+			Templates: reporting, Count: 300,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.Train(hist.Queries, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		candidates = append(candidates, Candidate{Machine: m, Predictor: p})
+	}
+	wl, err := dataset.Generate(dataset.GenConfig{
+		Seed: 9, DataSeed: 1000, Machine: exec.Production32(4), Schema: schema,
+		Templates: reporting, Count: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{candidates: candidates, workload: wl.Queries}
+	return cached
+}
+
+func TestPlanOrdersAndAssesses(t *testing.T) {
+	f := setup(t)
+	assessments, rec, err := Plan(f.workload, f.candidates, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assessments) != 2 {
+		t.Fatalf("assessments = %d", len(assessments))
+	}
+	// Unconstrained: the cheapest (4-cpu) candidate is recommended.
+	if rec != 0 || assessments[0].Machine.Processors != 4 {
+		t.Errorf("recommendation = %d (%+v)", rec, assessments[0].Machine)
+	}
+	// The larger machine should predict a faster workload.
+	if assessments[1].Totals.ElapsedSec >= assessments[0].Totals.ElapsedSec {
+		t.Errorf("32-cpu total (%v) should beat 4-cpu (%v)",
+			assessments[1].Totals.ElapsedSec, assessments[0].Totals.ElapsedSec)
+	}
+	for _, a := range assessments {
+		if !a.Satisfies {
+			t.Errorf("%s should satisfy the empty constraint", a.Machine.Name)
+		}
+		if a.MinConfidence <= 0 || a.MinConfidence > 1 {
+			t.Errorf("confidence out of range: %v", a.MinConfidence)
+		}
+		if a.MaxQueryElapsedSec <= 0 || a.MaxQueryElapsedSec > a.Totals.ElapsedSec {
+			t.Errorf("max query time inconsistent: %v vs total %v", a.MaxQueryElapsedSec, a.Totals.ElapsedSec)
+		}
+	}
+}
+
+func TestPlanConstraintSelectsBiggerMachine(t *testing.T) {
+	f := setup(t)
+	// Find a window only the 32-cpu machine can meet.
+	all, _, err := Plan(f.workload, f.candidates, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := (all[0].Totals.ElapsedSec + all[1].Totals.ElapsedSec) / 2
+	assessments, rec, err := Plan(f.workload, f.candidates, Constraint{MaxTotalElapsedSec: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != 1 {
+		t.Fatalf("recommendation = %d, want the 32-cpu candidate", rec)
+	}
+	if assessments[0].Satisfies {
+		t.Error("4-cpu candidate should fail the tight window")
+	}
+}
+
+func TestPlanImpossibleConstraint(t *testing.T) {
+	f := setup(t)
+	_, rec, err := Plan(f.workload, f.candidates, Constraint{MaxTotalElapsedSec: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != -1 {
+		t.Errorf("recommendation = %d, want -1", rec)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	f := setup(t)
+	if _, _, err := Plan(nil, f.candidates, Constraint{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, _, err := Plan(f.workload, nil, Constraint{}); err == nil {
+		t.Error("no candidates accepted")
+	}
+	bad := []Candidate{{Machine: exec.Research4()}}
+	if _, _, err := Plan(f.workload, bad, Constraint{}); err == nil {
+		t.Error("candidate without predictor accepted")
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	f := setup(t)
+	all, _, err := Plan(f.workload, f.candidates, Constraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name4 := f.candidates[0].Machine.Name
+	name32 := f.candidates[1].Machine.Name
+
+	// Loose constraint: the 4-cpu machine suffices, so running on the
+	// 32-cpu machine suggests a downgrade.
+	loose := Constraint{MaxTotalElapsedSec: all[0].Totals.ElapsedSec * 2}
+	advice, _, err := Advise(f.workload, f.candidates, loose, name32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice != Downgrade {
+		t.Errorf("advice = %v, want downgrade", advice)
+	}
+
+	// Tight constraint: only the 32-cpu machine fits; from the 4-cpu
+	// machine that is an upgrade.
+	tight := Constraint{MaxTotalElapsedSec: (all[0].Totals.ElapsedSec + all[1].Totals.ElapsedSec) / 2}
+	advice, _, err = Advise(f.workload, f.candidates, tight, name4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice != Upgrade {
+		t.Errorf("advice = %v, want upgrade", advice)
+	}
+
+	// Impossible constraint.
+	advice, _, err = Advise(f.workload, f.candidates, Constraint{MaxTotalElapsedSec: 1e-9}, name4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice != NoneSufficient {
+		t.Errorf("advice = %v, want none-sufficient", advice)
+	}
+
+	// Unknown current configuration.
+	if _, _, err := Advise(f.workload, f.candidates, loose, "mystery"); err == nil {
+		t.Error("unknown current configuration accepted")
+	}
+}
+
+func TestUpgradeAdviceString(t *testing.T) {
+	for advice, want := range map[UpgradeAdvice]string{
+		KeepCurrent: "keep-current", Upgrade: "upgrade",
+		Downgrade: "downgrade", NoneSufficient: "none-sufficient",
+	} {
+		if advice.String() != want {
+			t.Errorf("%d.String() = %q", advice, advice.String())
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL dialect emitted by sqlgen. It exists so that the SQL-text feature
+// vector (Sec. VI-D.1 of the paper) can be computed from query *text* the
+// way a real deployment would — by parsing the statement — and so that
+// rendered queries round-trip back to identical ASTs (tested property).
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokNumber:
+		return t.text
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		// Dot is either a qualifier separator or the start of a number like
+		// ".5"; a digit after the dot disambiguates.
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{kind: tokNe, text: "<>", pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+		}
+		l.pos++
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c == '-' || c == '+' || isDigit(c):
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	seenDigit := false
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+		seenDigit = true
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+			seenDigit = true
+		}
+	}
+	if !seenDigit {
+		return token{}, fmt.Errorf("sqlparse: malformed number at offset %d", start)
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+			l.pos++
+		}
+		expDigits := false
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+			expDigits = true
+		}
+		if !expDigits {
+			l.pos = save // "e" belonged to something else
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, fmt.Errorf("sqlparse: bad number %q at offset %d: %v", text, start, err)
+	}
+	return token{kind: tokNumber, text: text, num: v, pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}

@@ -1,0 +1,395 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sqlgen"
+)
+
+// Parse parses a SELECT statement in the sqlgen dialect and returns its AST.
+func Parse(src string) (*sqlgen.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at %q", p.peek())
+	}
+	return q, nil
+}
+
+// TextStats parses src and returns the nine SQL-text statistics of
+// Sec. VI-D.1 of the paper.
+func TextStats(src string) (sqlgen.TextStats, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return sqlgen.TextStats{}, err
+	}
+	return q.Stats(), nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peek2() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return token{kind: tokEOF}
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlparse: expected %s, found %q", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.peek().kind != kind {
+		return token{}, fmt.Errorf("sqlparse: expected %s, found %q", what, p.peek())
+	}
+	return p.advance(), nil
+}
+
+var aggNames = map[string]sqlgen.AggFunc{
+	"COUNT": sqlgen.AggCount,
+	"SUM":   sqlgen.AggSum,
+	"AVG":   sqlgen.AggAvg,
+	"MIN":   sqlgen.AggMin,
+	"MAX":   sqlgen.AggMax,
+}
+
+var reservedWords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "ORDER": true, "BY": true, "LIMIT": true,
+	"AS": true, "IN": true, "BETWEEN": true, "EXISTS": true, "DESC": true,
+}
+
+func (p *parser) parseQuery() (*sqlgen.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &sqlgen.Query{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, tref)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			if err := p.parseCondition(q); err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.isKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.isKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlgen.OrderItem{Col: col}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t, err := p.expect(tokNumber, "LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = int(t.num)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (sqlgen.SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[strings.ToUpper(t.text)]; ok && p.peek2().kind == tokLParen {
+			p.advance() // agg name
+			p.advance() // (
+			if agg == sqlgen.AggCount && p.peek().kind == tokStar {
+				p.advance()
+				if _, err := p.expect(tokRParen, ")"); err != nil {
+					return sqlgen.SelectItem{}, err
+				}
+				return sqlgen.SelectItem{Agg: sqlgen.AggCountStar}, nil
+			}
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return sqlgen.SelectItem{}, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return sqlgen.SelectItem{}, err
+			}
+			return sqlgen.SelectItem{Agg: agg, Col: col}, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return sqlgen.SelectItem{}, err
+	}
+	return sqlgen.SelectItem{Col: col}, nil
+}
+
+func (p *parser) parseTableRef() (sqlgen.TableRef, error) {
+	t, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return sqlgen.TableRef{}, err
+	}
+	ref := sqlgen.TableRef{Table: t.text}
+	if p.acceptKeyword("AS") {
+		a, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return sqlgen.TableRef{}, err
+		}
+		ref.Alias = a.text
+	} else if p.peek().kind == tokIdent && !reservedWords[strings.ToUpper(p.peek().text)] {
+		ref.Alias = p.advance().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseColumnRef() (sqlgen.ColumnRef, error) {
+	t, err := p.expect(tokIdent, "column reference")
+	if err != nil {
+		return sqlgen.ColumnRef{}, err
+	}
+	if reservedWords[strings.ToUpper(t.text)] {
+		return sqlgen.ColumnRef{}, fmt.Errorf("sqlparse: reserved word %q used as identifier", t.text)
+	}
+	if p.peek().kind == tokDot {
+		p.advance()
+		c, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return sqlgen.ColumnRef{}, err
+		}
+		return sqlgen.ColumnRef{Table: t.text, Column: c.text}, nil
+	}
+	return sqlgen.ColumnRef{Column: t.text}, nil
+}
+
+func (p *parser) parseLiteral() (sqlgen.Literal, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return sqlgen.Literal{Value: t.num}, nil
+	case tokString:
+		p.advance()
+		v, err := parseCharCode(t.text)
+		if err != nil {
+			return sqlgen.Literal{}, err
+		}
+		return sqlgen.Literal{Value: v, IsChar: true}, nil
+	default:
+		return sqlgen.Literal{}, fmt.Errorf("sqlparse: expected literal, found %q", t)
+	}
+}
+
+// parseCharCode decodes the dictionary-code string form "vNNN" used by the
+// synthetic dialect; any other string hashes to a stable code so that
+// hand-written SQL still parses.
+func parseCharCode(s string) (float64, error) {
+	if len(s) >= 2 && s[0] == 'v' {
+		if n, err := strconv.ParseInt(s[1:], 10, 64); err == nil {
+			return float64(n), nil
+		}
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return math.Abs(float64(h % 100000)), nil
+}
+
+func (p *parser) parseCondition(q *sqlgen.Query) error {
+	if p.isKeyword("EXISTS") {
+		p.advance()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return err
+		}
+		q.Where = append(q.Where, sqlgen.Predicate{Op: sqlgen.OpIn, Exists: true, Subquery: sub})
+		return nil
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && strings.EqualFold(t.text, "BETWEEN"):
+		p.advance()
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		q.Where = append(q.Where, sqlgen.Predicate{Col: col, Op: sqlgen.OpBetween, Lo: lo, Hi: hi})
+		return nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "IN"):
+		p.advance()
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return err
+		}
+		if p.isKeyword("SELECT") {
+			sub, err := p.parseQuery()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return err
+			}
+			q.Where = append(q.Where, sqlgen.Predicate{Col: col, Op: sqlgen.OpIn, Subquery: sub})
+			return nil
+		}
+		var vals []sqlgen.Literal
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return err
+		}
+		q.Where = append(q.Where, sqlgen.Predicate{Col: col, Op: sqlgen.OpIn, Values: vals})
+		return nil
+	}
+	var op sqlgen.CmpOp
+	switch t.kind {
+	case tokEq:
+		op = sqlgen.OpEq
+	case tokNe:
+		op = sqlgen.OpNe
+	case tokLt:
+		op = sqlgen.OpLt
+	case tokLe:
+		op = sqlgen.OpLe
+	case tokGt:
+		op = sqlgen.OpGt
+	case tokGe:
+		op = sqlgen.OpGe
+	default:
+		return fmt.Errorf("sqlparse: expected comparison operator, found %q", t)
+	}
+	p.advance()
+	// Identifier on the right-hand side means a join predicate; a literal
+	// means a selection predicate.
+	if p.peek().kind == tokIdent && !reservedWords[strings.ToUpper(p.peek().text)] {
+		right, err := p.parseColumnRef()
+		if err != nil {
+			return err
+		}
+		q.Joins = append(q.Joins, sqlgen.JoinPred{Left: col, Right: right, Op: op})
+		return nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return err
+	}
+	q.Where = append(q.Where, sqlgen.Predicate{Col: col, Op: op, Value: lit})
+	return nil
+}

@@ -1,0 +1,257 @@
+package sqlparse
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlgen"
+)
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM store_sales WHERE ss_quantity > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Agg != sqlgen.AggCountStar {
+		t.Errorf("select wrong: %+v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Table != "store_sales" {
+		t.Errorf("from wrong: %+v", q.From)
+	}
+	if len(q.Where) != 1 || q.Where[0].Op != sqlgen.OpGt || q.Where[0].Value.Value != 5 {
+		t.Errorf("where wrong: %+v", q.Where)
+	}
+}
+
+func TestParseJoinVsSelection(t *testing.T) {
+	q, err := Parse("SELECT a.x FROM t1 AS a, t2 AS b WHERE a.k = b.k AND a.x = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %+v", q.Joins)
+	}
+	if q.Joins[0].Left.String() != "a.k" || q.Joins[0].Right.String() != "b.k" {
+		t.Errorf("join refs wrong: %+v", q.Joins[0])
+	}
+	if len(q.Where) != 1 || q.Where[0].Col.String() != "a.x" {
+		t.Errorf("selection wrong: %+v", q.Where)
+	}
+}
+
+func TestParseNonEquijoin(t *testing.T) {
+	q, err := Parse("SELECT a.x FROM t1 AS a, t2 AS b WHERE a.k <= b.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 || q.Joins[0].Op != sqlgen.OpLe {
+		t.Errorf("non-equijoin wrong: %+v", q.Joins)
+	}
+	st := q.Stats()
+	if st.NonEquijoinPreds != 1 || st.EquijoinPreds != 0 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	q, err := Parse("SELECT x FROM t WHERE x BETWEEN 2 AND 8 AND y IN (1, 2, 3) AND z = 'v9'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 3 {
+		t.Fatalf("where count = %d", len(q.Where))
+	}
+	b := q.Where[0]
+	if b.Op != sqlgen.OpBetween || b.Lo.Value != 2 || b.Hi.Value != 8 {
+		t.Errorf("between wrong: %+v", b)
+	}
+	in := q.Where[1]
+	if in.Op != sqlgen.OpIn || len(in.Values) != 3 || in.Values[2].Value != 3 {
+		t.Errorf("in wrong: %+v", in)
+	}
+	ch := q.Where[2]
+	if !ch.Value.IsChar || ch.Value.Value != 9 {
+		t.Errorf("char literal wrong: %+v", ch)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	src := "SELECT COUNT(*) FROM t1 WHERE k IN (SELECT k FROM t2 WHERE v > 10) AND EXISTS (SELECT j FROM t3)"
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("where count = %d", len(q.Where))
+	}
+	if q.Where[0].Subquery == nil || q.Where[0].Subquery.From[0].Table != "t2" {
+		t.Errorf("IN subquery wrong: %+v", q.Where[0])
+	}
+	if !q.Where[1].Exists || q.Where[1].Subquery.From[0].Table != "t3" {
+		t.Errorf("EXISTS wrong: %+v", q.Where[1])
+	}
+	st := q.Stats()
+	if st.NestedSubqueries != 2 {
+		t.Errorf("nested = %d, want 2", st.NestedSubqueries)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	q, err := Parse("SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g DESC, h LIMIT 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Column != "g" {
+		t.Errorf("group wrong: %+v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("order wrong: %+v", q.OrderBy)
+	}
+	if q.Limit != 50 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	q, err := Parse("SELECT a.x FROM t1 a WHERE a.x < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From[0].Alias != "a" {
+		t.Errorf("implicit alias not parsed: %+v", q.From[0])
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select x from t where x > 1 order by x limit 5"); err != nil {
+		t.Errorf("lowercase keywords rejected: %v", err)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	q, err := Parse("SELECT x FROM t WHERE a = -82 AND b = 2.5 AND c = 1e+10 AND d = .5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{-82, 2.5, 1e10, 0.5}
+	for i, p := range q.Where {
+		if p.Value.Value != vals[i] {
+			t.Errorf("value %d = %v, want %v", i, p.Value.Value, vals[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM t WHERE",
+		"SELECT x FROM t WHERE x",
+		"SELECT x FROM t WHERE x BETWEEN 1",
+		"SELECT x FROM t WHERE x IN",
+		"SELECT x FROM t WHERE x IN (1,",
+		"SELECT x FROM t trailing junk (",
+		"SELECT x FROM t WHERE x = 'unterminated",
+		"SELECT x FROM t WHERE x @ 3",
+		"SELECT x FROM t WHERE SELECT = 3",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseUnknownStringHashesStably(t *testing.T) {
+	q1, err := Parse("SELECT x FROM t WHERE s = 'hello'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse("SELECT x FROM t WHERE s = 'hello'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Where[0].Value.Value != q2.Where[0].Value.Value {
+		t.Error("string hash must be stable")
+	}
+	if q1.Where[0].Value.Value < 0 {
+		t.Error("hash code must be nonnegative")
+	}
+}
+
+// TestRoundTrip checks Render→Parse→Render is a fixed point and the parsed
+// AST matches the original structure.
+func TestRoundTrip(t *testing.T) {
+	cases := []*sqlgen.Query{
+		{
+			Select: []sqlgen.SelectItem{{Agg: sqlgen.AggCountStar}},
+			From:   []sqlgen.TableRef{{Table: "t"}},
+		},
+		{
+			Select: []sqlgen.SelectItem{
+				{Col: sqlgen.ColumnRef{Table: "a", Column: "x"}},
+				{Agg: sqlgen.AggAvg, Col: sqlgen.ColumnRef{Table: "b", Column: "y"}},
+			},
+			From: []sqlgen.TableRef{{Table: "t1", Alias: "a"}, {Table: "t2", Alias: "b"}},
+			Joins: []sqlgen.JoinPred{
+				{Left: sqlgen.ColumnRef{Table: "a", Column: "k"}, Right: sqlgen.ColumnRef{Table: "b", Column: "k"}, Op: sqlgen.OpEq},
+				{Left: sqlgen.ColumnRef{Table: "a", Column: "d"}, Right: sqlgen.ColumnRef{Table: "b", Column: "d"}, Op: sqlgen.OpLt},
+			},
+			Where: []sqlgen.Predicate{
+				{Col: sqlgen.ColumnRef{Table: "a", Column: "p"}, Op: sqlgen.OpBetween, Lo: sqlgen.Literal{Value: 1}, Hi: sqlgen.Literal{Value: 5}},
+				{Col: sqlgen.ColumnRef{Table: "b", Column: "c"}, Op: sqlgen.OpEq, Value: sqlgen.Literal{Value: 42, IsChar: true}},
+				{Col: sqlgen.ColumnRef{Table: "a", Column: "q"}, Op: sqlgen.OpIn, Values: []sqlgen.Literal{{Value: 1}, {Value: 2}}},
+			},
+			GroupBy: []sqlgen.ColumnRef{{Table: "a", Column: "x"}},
+			OrderBy: []sqlgen.OrderItem{{Col: sqlgen.ColumnRef{Table: "a", Column: "x"}, Desc: true}},
+			Limit:   10,
+		},
+		{
+			Select: []sqlgen.SelectItem{{Agg: sqlgen.AggSum, Col: sqlgen.ColumnRef{Column: "v"}}},
+			From:   []sqlgen.TableRef{{Table: "f"}},
+			Where: []sqlgen.Predicate{
+				{Col: sqlgen.ColumnRef{Column: "k"}, Op: sqlgen.OpIn, Subquery: &sqlgen.Query{
+					Select: []sqlgen.SelectItem{{Col: sqlgen.ColumnRef{Column: "k"}}},
+					From:   []sqlgen.TableRef{{Table: "d"}},
+					Where: []sqlgen.Predicate{
+						{Col: sqlgen.ColumnRef{Column: "year"}, Op: sqlgen.OpGe, Value: sqlgen.Literal{Value: 2000}},
+					},
+				}},
+			},
+		},
+	}
+	for i, q := range cases {
+		sql := q.Render()
+		parsed, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("case %d: parse error: %v\nSQL: %s", i, err, sql)
+		}
+		if !reflect.DeepEqual(q, parsed) {
+			t.Errorf("case %d: AST round trip mismatch\nSQL: %s\n got: %#v\nwant: %#v", i, sql, parsed, q)
+		}
+		if again := parsed.Render(); again != sql {
+			t.Errorf("case %d: render not a fixed point:\n1st: %s\n2nd: %s", i, sql, again)
+		}
+	}
+}
+
+func TestTextStatsFromText(t *testing.T) {
+	src := "SELECT COUNT(*) FROM t1 AS a, t2 AS b WHERE a.k = b.k AND a.x > 3 ORDER BY a.x"
+	ts, err := TextStats(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.JoinPreds != 1 || ts.SelectionPreds != 1 || ts.SortColumns != 1 || ts.AggregationColumns != 1 {
+		t.Errorf("stats wrong: %+v", ts)
+	}
+	if _, err := TextStats("not sql"); err == nil {
+		t.Error("TextStats on garbage should error")
+	}
+	if !strings.Contains(src, "WHERE") {
+		t.Error("sanity")
+	}
+}

@@ -1,0 +1,156 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlgen"
+	"repro/internal/statutil"
+)
+
+// randQuery builds a random valid AST: random tables/columns/aliases,
+// random predicate shapes, optional subquery, grouping and ordering.
+func randQuery(r *statutil.RNG, allowSub bool) *sqlgen.Query {
+	tables := []string{"t1", "t2", "t3"}
+	cols := []string{"a", "b", "c", "d"}
+	nFrom := r.IntBetween(1, 3)
+	q := &sqlgen.Query{}
+	names := make([]string, nFrom)
+	for i := 0; i < nFrom; i++ {
+		ref := sqlgen.TableRef{Table: tables[i]}
+		if r.Intn(2) == 0 {
+			ref.Alias = string(rune('x' + i))
+		}
+		q.From = append(q.From, ref)
+		names[i] = ref.Name()
+	}
+	col := func() sqlgen.ColumnRef {
+		return sqlgen.ColumnRef{Table: names[r.Intn(nFrom)], Column: cols[r.Intn(len(cols))]}
+	}
+	lit := func() sqlgen.Literal {
+		if r.Intn(3) == 0 {
+			return sqlgen.Literal{Value: float64(r.IntBetween(0, 500)), IsChar: true}
+		}
+		v := r.Uniform(-100, 100)
+		if r.Intn(2) == 0 {
+			v = float64(int(v))
+		}
+		return sqlgen.Literal{Value: v}
+	}
+
+	// Select list: aggregates or plain columns (plain columns also go to
+	// GROUP BY so the query validates).
+	nSel := r.IntBetween(1, 3)
+	hasAgg := false
+	for i := 0; i < nSel; i++ {
+		switch r.Intn(4) {
+		case 0:
+			q.Select = append(q.Select, sqlgen.SelectItem{Agg: sqlgen.AggCountStar})
+			hasAgg = true
+		case 1:
+			q.Select = append(q.Select, sqlgen.SelectItem{Agg: sqlgen.AggSum, Col: col()})
+			hasAgg = true
+		default:
+			c := col()
+			q.Select = append(q.Select, sqlgen.SelectItem{Col: c})
+			q.GroupBy = append(q.GroupBy, c)
+		}
+	}
+	if !hasAgg {
+		q.GroupBy = nil // plain projection needs no grouping
+	}
+
+	// Joins between consecutive FROM entries.
+	ops := []sqlgen.CmpOp{sqlgen.OpEq, sqlgen.OpLt, sqlgen.OpLe, sqlgen.OpGt, sqlgen.OpGe, sqlgen.OpNe}
+	for i := 1; i < nFrom; i++ {
+		if r.Intn(2) == 0 {
+			q.Joins = append(q.Joins, sqlgen.JoinPred{
+				Left:  sqlgen.ColumnRef{Table: names[i-1], Column: cols[r.Intn(len(cols))]},
+				Right: sqlgen.ColumnRef{Table: names[i], Column: cols[r.Intn(len(cols))]},
+				Op:    ops[r.Intn(len(ops))],
+			})
+		}
+	}
+
+	// Selection predicates.
+	nPred := r.IntBetween(0, 3)
+	for i := 0; i < nPred; i++ {
+		switch r.Intn(4) {
+		case 0:
+			lo := lit()
+			span := r.Uniform(0, 50)
+			if lo.IsChar {
+				// Char literals are dictionary codes: keep them integral
+				// so rendering does not truncate.
+				span = float64(r.IntBetween(0, 50))
+			}
+			hi := sqlgen.Literal{Value: lo.Value + span, IsChar: lo.IsChar}
+			q.Where = append(q.Where, sqlgen.Predicate{Col: col(), Op: sqlgen.OpBetween, Lo: lo, Hi: hi})
+		case 1:
+			vals := []sqlgen.Literal{lit(), lit()}
+			q.Where = append(q.Where, sqlgen.Predicate{Col: col(), Op: sqlgen.OpIn, Values: vals})
+		case 2:
+			if allowSub {
+				q.Where = append(q.Where, sqlgen.Predicate{Col: col(), Op: sqlgen.OpIn, Subquery: randQuery(r, false)})
+				continue
+			}
+			fallthrough
+		default:
+			q.Where = append(q.Where, sqlgen.Predicate{Col: col(), Op: ops[r.Intn(len(ops))], Value: lit()})
+		}
+	}
+
+	if r.Intn(2) == 0 {
+		q.OrderBy = append(q.OrderBy, sqlgen.OrderItem{Col: col(), Desc: r.Intn(2) == 0})
+	}
+	if r.Intn(3) == 0 {
+		q.Limit = r.IntBetween(1, 1000)
+	}
+	return q
+}
+
+// TestRandomASTRoundTripProperty: any AST the generator produces renders
+// to SQL that parses back to a structurally identical AST, and rendering
+// is a fixed point.
+func TestRandomASTRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := statutil.NewRNG(seed, "astfuzz")
+		q := randQuery(r, true)
+		if err := q.Validate(); err != nil {
+			t.Logf("generator produced invalid AST: %v", err)
+			return false
+		}
+		sql := q.Render()
+		parsed, err := Parse(sql)
+		if err != nil {
+			t.Logf("parse error: %v\nSQL: %s", err, sql)
+			return false
+		}
+		if !reflect.DeepEqual(q, parsed) {
+			t.Logf("round trip mismatch:\nSQL: %s", sql)
+			return false
+		}
+		return parsed.Render() == sql
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomASTTextStatsConsistency: text statistics computed from the AST
+// and from the parsed-back SQL must agree.
+func TestRandomASTTextStatsConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := statutil.NewRNG(seed, "statfuzz")
+		q := randQuery(r, true)
+		fromText, err := TextStats(q.Render())
+		if err != nil {
+			return false
+		}
+		return fromText == q.Stats()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

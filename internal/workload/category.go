@@ -1,0 +1,62 @@
+// Package workload generates the training and test query populations: 22
+// parameterized templates over the TPC-DS schema (14 benchmark-style
+// templates plus 8 "problem query" templates modeled on the paper's
+// long-running production queries) and 8 templates over the separate
+// customer schema. It also implements the paper's runtime-based query
+// categorization: feathers (under three minutes), golf balls (3 to 30
+// minutes), bowling balls (30 minutes to 2 hours) and wrecking balls
+// (longer than bowling balls).
+package workload
+
+import "fmt"
+
+// Category classifies a query by elapsed time, following the paper's
+// Fig. 2 boundaries.
+type Category int
+
+const (
+	Feather Category = iota
+	GolfBall
+	BowlingBall
+	WreckingBall
+)
+
+// Category boundaries in seconds (paper Fig. 2: feathers up to 2:59, golf
+// balls to 29:39, bowling balls to 1:54:50).
+const (
+	FeatherMaxSec  = 180.0
+	GolfBallMaxSec = 1800.0
+	BowlingMaxSec  = 7200.0
+)
+
+// Categorize maps an elapsed time in seconds to its category.
+func Categorize(elapsedSec float64) Category {
+	switch {
+	case elapsedSec < FeatherMaxSec:
+		return Feather
+	case elapsedSec < GolfBallMaxSec:
+		return GolfBall
+	case elapsedSec < BowlingMaxSec:
+		return BowlingBall
+	default:
+		return WreckingBall
+	}
+}
+
+func (c Category) String() string {
+	switch c {
+	case Feather:
+		return "feather"
+	case GolfBall:
+		return "golf_ball"
+	case BowlingBall:
+		return "bowling_ball"
+	case WreckingBall:
+		return "wrecking_ball"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// NumCategories counts the categories including wrecking balls.
+const NumCategories = 4

@@ -1,0 +1,568 @@
+package workload
+
+import (
+	"repro/internal/sqlgen"
+	"repro/internal/statutil"
+)
+
+// Template is a parameterized query generator. Each call to Gen draws fresh
+// predicate constants, mimicking how the paper generated thousands of
+// queries from TPC-DS templates and from hand-written templates modeled on
+// customer problem queries.
+type Template struct {
+	// Name identifies the template in reports.
+	Name string
+	// Class is "tpcds" for benchmark-style templates, "problem" for the
+	// long-running templates modeled on real problem queries, and
+	// "customer" for templates over the customer schema.
+	Class string
+	// Gen draws a query instance.
+	Gen func(r *statutil.RNG) *sqlgen.Query
+}
+
+// TPC-DS date surrogate key domain (see catalog).
+const (
+	dateMin = 2450815
+	dateMax = 2452642
+)
+
+func cref(col string) sqlgen.ColumnRef { return sqlgen.ColumnRef{Column: col} }
+func num(v float64) sqlgen.Literal     { return sqlgen.Literal{Value: v} }
+func ch(v int) sqlgen.Literal          { return sqlgen.Literal{Value: float64(v), IsChar: true} }
+
+func sel(cols ...string) []sqlgen.SelectItem {
+	items := make([]sqlgen.SelectItem, len(cols))
+	for i, c := range cols {
+		items[i] = sqlgen.SelectItem{Col: cref(c)}
+	}
+	return items
+}
+
+func agg(f sqlgen.AggFunc, col string) sqlgen.SelectItem {
+	if f == sqlgen.AggCountStar {
+		return sqlgen.SelectItem{Agg: sqlgen.AggCountStar}
+	}
+	return sqlgen.SelectItem{Agg: f, Col: cref(col)}
+}
+
+func from(tables ...string) []sqlgen.TableRef {
+	refs := make([]sqlgen.TableRef, len(tables))
+	for i, t := range tables {
+		refs[i] = sqlgen.TableRef{Table: t}
+	}
+	return refs
+}
+
+func equi(l, r string) sqlgen.JoinPred {
+	return sqlgen.JoinPred{Left: cref(l), Right: cref(r), Op: sqlgen.OpEq}
+}
+
+func between(col string, lo, hi float64) sqlgen.Predicate {
+	return sqlgen.Predicate{Col: cref(col), Op: sqlgen.OpBetween, Lo: num(lo), Hi: num(hi)}
+}
+
+func eqChar(col string, v int) sqlgen.Predicate {
+	return sqlgen.Predicate{Col: cref(col), Op: sqlgen.OpEq, Value: ch(v)}
+}
+
+func eqNum(col string, v float64) sqlgen.Predicate {
+	return sqlgen.Predicate{Col: cref(col), Op: sqlgen.OpEq, Value: num(v)}
+}
+
+func group(cols ...string) []sqlgen.ColumnRef {
+	refs := make([]sqlgen.ColumnRef, len(cols))
+	for i, c := range cols {
+		refs[i] = cref(c)
+	}
+	return refs
+}
+
+func order(cols ...string) []sqlgen.OrderItem {
+	items := make([]sqlgen.OrderItem, len(cols))
+	for i, c := range cols {
+		items[i] = sqlgen.OrderItem{Col: cref(c)}
+	}
+	return items
+}
+
+// dateRange draws a random date interval of between minDays and maxDays
+// within the fact-table date domain.
+func dateRange(r *statutil.RNG, minDays, maxDays int) (float64, float64) {
+	span := r.IntBetween(minDays, maxDays)
+	start := r.IntBetween(dateMin, dateMax-span)
+	return float64(start), float64(start + span)
+}
+
+// TPCDSTemplates returns the 24 templates over the TPC-DS schema: 14
+// benchmark-style templates (mostly feathers at scale factor 1, as the
+// paper found) and 8 problem templates that produce golf balls, bowling
+// balls, and wrecking balls depending on the drawn constants.
+func TPCDSTemplates() []Template {
+	t := make([]Template, 0, 24)
+
+	// --- Benchmark-style templates -------------------------------------
+
+	t = append(t, Template{Name: "sales_by_category", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 14, 120)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("i_category")[0], agg(sqlgen.AggSum, "ss_ext_sales_price"), agg(sqlgen.AggCountStar, "")},
+			From:    from("store_sales", "item"),
+			Joins:   []sqlgen.JoinPred{equi("ss_item_sk", "i_item_sk")},
+			Where:   []sqlgen.Predicate{between("ss_sold_date_sk", lo, hi)},
+			GroupBy: group("i_category"),
+			OrderBy: order("i_category"),
+		}
+	}})
+
+	t = append(t, Template{Name: "store_quantity_profile", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		qlo := float64(r.IntBetween(1, 40))
+		qhi := qlo + float64(r.IntBetween(5, 55))
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("s_state")[0], agg(sqlgen.AggCount, "ss_ticket_number"), agg(sqlgen.AggAvg, "ss_sales_price")},
+			From:    from("store_sales", "store"),
+			Joins:   []sqlgen.JoinPred{equi("ss_store_sk", "s_store_sk")},
+			Where:   []sqlgen.Predicate{between("ss_quantity", qlo, qhi)},
+			GroupBy: group("s_state"),
+		}
+	}})
+
+	t = append(t, Template{Name: "customer_city_purchases", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 7, 90)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("ca_city")[0], agg(sqlgen.AggSum, "ss_net_profit")},
+			From:   from("store_sales", "customer", "customer_address"),
+			Joins: []sqlgen.JoinPred{
+				equi("ss_customer_sk", "c_customer_sk"),
+				equi("c_current_addr_sk", "ca_address_sk"),
+			},
+			Where: []sqlgen.Predicate{
+				between("ss_sold_date_sk", lo, hi),
+				eqChar("ca_state", r.IntBetween(0, 50)),
+			},
+			GroupBy: group("ca_city"),
+			OrderBy: order("ca_city"),
+			Limit:   100,
+		}
+	}})
+
+	t = append(t, Template{Name: "catalog_ship_mode", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 30, 180)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("sm_type")[0], agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggSum, "cs_ext_sales_price")},
+			From:    from("catalog_sales", "ship_mode"),
+			Joins:   []sqlgen.JoinPred{equi("cs_ship_mode_sk", "sm_ship_mode_sk")},
+			Where:   []sqlgen.Predicate{between("cs_sold_date_sk", lo, hi)},
+			GroupBy: group("sm_type"),
+		}
+	}})
+
+	t = append(t, Template{Name: "web_top_items", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 7, 60)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("i_brand")[0], agg(sqlgen.AggSum, "ws_quantity")},
+			From:    from("web_sales", "item"),
+			Joins:   []sqlgen.JoinPred{equi("ws_item_sk", "i_item_sk")},
+			Where:   []sqlgen.Predicate{between("ws_sold_date_sk", lo, hi)},
+			GroupBy: group("i_brand"),
+			OrderBy: order("i_brand"),
+			Limit:   r.IntBetween(10, 100),
+		}
+	}})
+
+	t = append(t, Template{Name: "returns_by_reason", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 30, 365)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("r_reason_desc")[0], agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggSum, "sr_return_amt")},
+			From:    from("store_returns", "reason"),
+			Joins:   []sqlgen.JoinPred{equi("sr_reason_sk", "r_reason_sk")},
+			Where:   []sqlgen.Predicate{between("sr_returned_date_sk", lo, hi)},
+			GroupBy: group("r_reason_desc"),
+		}
+	}})
+
+	t = append(t, Template{Name: "inventory_levels", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 7, 45)
+		qty := float64(r.IntBetween(100, 900))
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("w_state")[0], agg(sqlgen.AggAvg, "inv_quantity_on_hand")},
+			From:    from("inventory", "warehouse"),
+			Joins:   []sqlgen.JoinPred{equi("inv_warehouse_sk", "w_warehouse_sk")},
+			Where:   []sqlgen.Predicate{between("inv_date_sk", lo, hi), between("inv_quantity_on_hand", 0, qty)},
+			GroupBy: group("w_state"),
+		}
+	}})
+
+	t = append(t, Template{Name: "demographic_mix", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 14, 90)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("cd_education_status")[0], agg(sqlgen.AggCountStar, "")},
+			From:   from("store_sales", "customer_demographics"),
+			Joins:  []sqlgen.JoinPred{equi("ss_cdemo_sk", "cd_demo_sk")},
+			Where: []sqlgen.Predicate{
+				between("ss_sold_date_sk", lo, hi),
+				eqChar("cd_gender", r.IntBetween(0, 1)),
+				eqChar("cd_marital_status", r.IntBetween(0, 4)),
+			},
+			GroupBy: group("cd_education_status"),
+		}
+	}})
+
+	t = append(t, Template{Name: "promo_effect", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 14, 120)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("i_category")[0], agg(sqlgen.AggSum, "ss_ext_sales_price")},
+			From:   from("store_sales", "promotion", "item"),
+			Joins: []sqlgen.JoinPred{
+				equi("ss_promo_sk", "p_promo_sk"),
+				equi("ss_item_sk", "i_item_sk"),
+			},
+			Where: []sqlgen.Predicate{
+				between("ss_sold_date_sk", lo, hi),
+				eqChar("p_channel_email", r.IntBetween(0, 1)),
+			},
+			GroupBy: group("i_category"),
+			OrderBy: order("i_category"),
+		}
+	}})
+
+	t = append(t, Template{Name: "household_buyers", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 30, 180)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("hd_buy_potential")[0], agg(sqlgen.AggCount, "cs_quantity")},
+			From:   from("catalog_sales", "household_demographics"),
+			Joins:  []sqlgen.JoinPred{equi("cs_bill_hdemo_sk", "hd_demo_sk")},
+			Where: []sqlgen.Predicate{
+				between("cs_sold_date_sk", lo, hi),
+				between("hd_dep_count", 0, float64(r.IntBetween(2, 9))),
+			},
+			GroupBy: group("hd_buy_potential"),
+		}
+	}})
+
+	t = append(t, Template{Name: "item_price_brands", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		plo := r.Uniform(0, 60)
+		phi := plo + r.Uniform(5, 40)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("i_brand")[0], agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggAvg, "i_current_price")},
+			From:    from("item"),
+			Where:   []sqlgen.Predicate{between("i_current_price", plo, phi), eqChar("i_category", r.IntBetween(0, 9))},
+			GroupBy: group("i_brand"),
+			OrderBy: order("i_brand"),
+		}
+	}})
+
+	t = append(t, Template{Name: "hourly_traffic", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 7, 30)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("t_hour")[0], agg(sqlgen.AggCountStar, "")},
+			From:    from("store_sales", "time_dim"),
+			Joins:   []sqlgen.JoinPred{equi("ss_sold_time_sk", "t_time_sk")},
+			Where:   []sqlgen.Predicate{between("ss_sold_date_sk", lo, hi)},
+			GroupBy: group("t_hour"),
+			OrderBy: order("t_hour"),
+		}
+	}})
+
+	t = append(t, Template{Name: "category_subquery", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 14, 90)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggSum, "ss_net_profit")},
+			From:   from("store_sales"),
+			Where: []sqlgen.Predicate{
+				between("ss_sold_date_sk", lo, hi),
+				{Col: cref("ss_item_sk"), Op: sqlgen.OpIn, Subquery: &sqlgen.Query{
+					Select: sel("i_item_sk"),
+					From:   from("item"),
+					Where:  []sqlgen.Predicate{eqChar("i_category", r.IntBetween(0, 9))},
+				}},
+			},
+		}
+	}})
+
+	t = append(t, Template{Name: "web_page_returns", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 30, 365)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("wp_type")[0], agg(sqlgen.AggSum, "wr_return_amt"), agg(sqlgen.AggCountStar, "")},
+			From:    from("web_returns", "web_page"),
+			Joins:   []sqlgen.JoinPred{equi("wr_web_page_sk", "wp_web_page_sk")},
+			Where:   []sqlgen.Predicate{between("wr_returned_date_sk", lo, hi)},
+			GroupBy: group("wp_type"),
+		}
+	}})
+
+	// Textual twin of the heavy inequality-join problem templates: the
+	// SQL-text statistics are identical (COUNT(*), one non-equijoin, two
+	// BETWEEN predicates) but the tables are tiny, so it always runs in
+	// well under a second. This is the paper's key observation about
+	// SQL-text features: "two textually similar queries may have
+	// dramatically different performance".
+	t = append(t, Template{Name: "floorspace_check", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		elo := float64(r.IntBetween(200, 250))
+		flo := float64(r.IntBetween(50000, 500000))
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{agg(sqlgen.AggCountStar, "")},
+			From:   from("store", "warehouse"),
+			Joins:  []sqlgen.JoinPred{{Left: cref("s_floor_space"), Right: cref("w_warehouse_sq_ft"), Op: sqlgen.OpGe}},
+			Where: []sqlgen.Predicate{
+				between("s_number_employees", elo, elo+float64(r.IntBetween(10, 60))),
+				between("w_warehouse_sq_ft", flo, flo+r.Uniform(100000, 500000)),
+			},
+		}
+	}})
+
+	// Textual twin of pb_cross_channel_items (same SELECT shape, equijoin,
+	// two BETWEENs, GROUP BY + ORDER BY) over two small tables.
+	t = append(t, Template{Name: "page_returns_profile", Class: "tpcds", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 30, 365)
+		qlo := float64(r.IntBetween(1, 60))
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("wp_type")[0], agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggSum, "wr_return_amt")},
+			From:    from("web_returns", "web_page"),
+			Joins:   []sqlgen.JoinPred{equi("wr_web_page_sk", "wp_web_page_sk")},
+			Where:   []sqlgen.Predicate{between("wr_returned_date_sk", lo, hi), between("wr_return_quantity", qlo, qlo+30)},
+			GroupBy: group("wp_type"),
+			OrderBy: order("wp_type"),
+		}
+	}})
+
+	// --- Problem templates (modeled on real long-running queries) ------
+
+	// Fact-fact equijoin on a non-key attribute: the intermediate result
+	// fans out to hundreds of millions of rows, then is sorted.
+	t = append(t, Template{Name: "pb_cross_channel_items", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		slo, shi := dateRange(r, 300, 1800)
+		clo, chi := dateRange(r, 300, 1800)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("ss_item_sk")[0], agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggSum, "cs_ext_sales_price")},
+			From:    from("store_sales", "catalog_sales"),
+			Joins:   []sqlgen.JoinPred{equi("ss_item_sk", "cs_item_sk")},
+			Where:   []sqlgen.Predicate{between("ss_sold_date_sk", slo, shi), between("cs_sold_date_sk", clo, chi)},
+			GroupBy: group("ss_item_sk"),
+			OrderBy: order("ss_item_sk"),
+		}
+	}})
+
+	// Customer-level fact-fact join (non-key, heavy fan-out).
+	t = append(t, Template{Name: "pb_repeat_returners", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 300, 1800)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("ss_customer_sk")[0], agg(sqlgen.AggCount, "sr_ticket_number")},
+			From:    from("store_sales", "store_returns"),
+			Joins:   []sqlgen.JoinPred{equi("ss_customer_sk", "sr_customer_sk")},
+			Where:   []sqlgen.Predicate{between("ss_sold_date_sk", lo, hi)},
+			GroupBy: group("ss_customer_sk"),
+		}
+	}})
+
+	// Inequality join between two filtered fact tables: pairwise nested
+	// join whose runtime is quadratic in the surviving rows. The drawn
+	// date spans move this from golf ball to wrecking ball.
+	t = append(t, Template{Name: "pb_lagged_returns", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		slo, shi := dateRange(r, 250, 1200)
+		rlo, rhi := dateRange(r, 100, 600)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{agg(sqlgen.AggCountStar, "")},
+			From:   from("catalog_sales", "catalog_returns"),
+			Joins:  []sqlgen.JoinPred{{Left: cref("cs_sold_date_sk"), Right: cref("cr_returned_date_sk"), Op: sqlgen.OpLe}},
+			Where: []sqlgen.Predicate{
+				between("cs_sold_date_sk", slo, shi),
+				between("cr_returned_date_sk", rlo, rhi),
+			},
+		}
+	}})
+
+	// Three-way fact join through the item dimension.
+	t = append(t, Template{Name: "pb_triple_channel", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		slo, shi := dateRange(r, 120, 1200)
+		wlo, whi := dateRange(r, 120, 1200)
+		clo, chi := dateRange(r, 120, 1200)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("ss_item_sk")[0], agg(sqlgen.AggSum, "ws_ext_sales_price"), agg(sqlgen.AggCountStar, "")},
+			From:   from("store_sales", "web_sales", "catalog_sales"),
+			Joins: []sqlgen.JoinPred{
+				equi("ss_item_sk", "ws_item_sk"),
+				equi("ws_item_sk", "cs_item_sk"),
+			},
+			Where: []sqlgen.Predicate{
+				between("ss_sold_date_sk", slo, shi),
+				between("ws_sold_date_sk", wlo, whi),
+				between("cs_sold_date_sk", clo, chi),
+			},
+			GroupBy: group("ss_item_sk"),
+			OrderBy: order("ss_item_sk"),
+			Limit:   1000,
+		}
+	}})
+
+	// Inventory positions compared against sales with an inequality —
+	// inventory is the largest fact table, so wide date ranges here are
+	// the paper's four-hour wrecking balls.
+	t = append(t, Template{Name: "pb_stock_vs_sales", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		slo, shi := dateRange(r, 14, 200)
+		ilo, ihi := dateRange(r, 7, 90)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{agg(sqlgen.AggCountStar, "")},
+			From:   from("store_sales", "inventory"),
+			Joins:  []sqlgen.JoinPred{{Left: cref("ss_sold_date_sk"), Right: cref("inv_date_sk"), Op: sqlgen.OpLe}},
+			Where: []sqlgen.Predicate{
+				between("ss_sold_date_sk", slo, shi),
+				between("inv_date_sk", ilo, ihi),
+			},
+		}
+	}})
+
+	// A fat IN-subquery feeding a fact scan plus a fan-out join.
+	t = append(t, Template{Name: "pb_bigin_subquery", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 300, 1500)
+		qlo := float64(r.IntBetween(1, 30))
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("cs_item_sk")[0], agg(sqlgen.AggCountStar, "")},
+			From:   from("catalog_sales", "store_sales"),
+			Joins:  []sqlgen.JoinPred{equi("cs_item_sk", "ss_item_sk")},
+			Where: []sqlgen.Predicate{
+				between("cs_sold_date_sk", lo, hi),
+				{Col: cref("ss_customer_sk"), Op: sqlgen.OpIn, Subquery: &sqlgen.Query{
+					Select: sel("c_customer_sk"),
+					From:   from("customer"),
+					Where:  []sqlgen.Predicate{between("c_birth_year", 1924, float64(1930+r.IntBetween(0, 50)))},
+				}},
+				between("ss_quantity", qlo, qlo+20),
+			},
+			GroupBy: group("cs_item_sk"),
+		}
+	}})
+
+	// Heavy sort: a wide join result ordered by profit (external sort).
+	t = append(t, Template{Name: "pb_giant_sort", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 300, 1500)
+		return &sqlgen.Query{
+			Select:  sel("ss_ticket_number", "ss_net_profit"),
+			From:    from("store_sales", "store_returns"),
+			Joins:   []sqlgen.JoinPred{equi("ss_item_sk", "sr_item_sk")},
+			Where:   []sqlgen.Predicate{between("ss_sold_date_sk", lo, hi)},
+			OrderBy: []sqlgen.OrderItem{{Col: cref("ss_net_profit"), Desc: true}, {Col: cref("ss_ticket_number")}},
+		}
+	}})
+
+	// Demographic cross-product explosion: two large dimensions joined by
+	// inequality, then matched to a fact.
+	t = append(t, Template{Name: "pb_demo_blowup", Class: "problem", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo, hi := dateRange(r, 60, 500)
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{agg(sqlgen.AggCountStar, "")},
+			From:   from("web_sales", "customer", "household_demographics"),
+			Joins: []sqlgen.JoinPred{
+				equi("ws_bill_customer_sk", "c_customer_sk"),
+				{Left: cref("c_current_hdemo_sk"), Right: cref("hd_demo_sk"), Op: sqlgen.OpGe},
+			},
+			Where: []sqlgen.Predicate{
+				between("ws_sold_date_sk", lo, hi),
+				between("hd_vehicle_count", 0, float64(r.IntBetween(1, 4))),
+			},
+		}
+	}})
+
+	return t
+}
+
+// CustomerTemplates returns the templates over the customer (telecom
+// billing) schema used in Experiment 4. Real access was limited to very
+// short-running queries ("mini-feathers"), so these templates are all
+// narrow single-join aggregations.
+func CustomerTemplates() []Template {
+	t := make([]Template, 0, 8)
+
+	t = append(t, Template{Name: "cust_calls_by_type", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		day := float64(r.IntBetween(0, 364))
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("cr_call_type")[0], agg(sqlgen.AggCountStar, "")},
+			From:    from("call_records"),
+			Where:   []sqlgen.Predicate{between("cr_call_date", day, day+float64(r.IntBetween(0, 3)))},
+			GroupBy: group("cr_call_type"),
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_overdue_by_region", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{sel("region_name")[0], agg(sqlgen.AggSum, "inv_amount_due")},
+			From:   from("invoices", "accounts", "regions"),
+			Joins: []sqlgen.JoinPred{
+				equi("inv_acct_id", "acct_id"),
+				equi("acct_region_id", "region_id"),
+			},
+			Where: []sqlgen.Predicate{
+				eqChar("inv_status", r.IntBetween(0, 2)),
+				eqNum("inv_bill_date", float64(r.IntBetween(0, 23))),
+			},
+			GroupBy: group("region_name"),
+			OrderBy: order("region_name"),
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_payment_methods", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo := float64(r.IntBetween(0, 700))
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("pay_method")[0], agg(sqlgen.AggSum, "pay_amount"), agg(sqlgen.AggCountStar, "")},
+			From:    from("payments"),
+			Where:   []sqlgen.Predicate{between("pay_date", lo, lo+float64(r.IntBetween(3, 30)))},
+			GroupBy: group("pay_method"),
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_subs_by_plan", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("plan_type")[0], agg(sqlgen.AggCount, "sub_id")},
+			From:    from("subscriptions", "plans"),
+			Joins:   []sqlgen.JoinPred{equi("sub_plan_id", "plan_id")},
+			Where:   []sqlgen.Predicate{eqChar("sub_status", r.IntBetween(0, 4))},
+			GroupBy: group("plan_type"),
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_segment_credit", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		lo := r.Uniform(0, 5000)
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("acct_segment")[0], agg(sqlgen.AggAvg, "acct_credit_limit")},
+			From:    from("accounts"),
+			Where:   []sqlgen.Predicate{between("acct_credit_limit", lo, lo+r.Uniform(500, 4000))},
+			GroupBy: group("acct_segment"),
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_busy_cells", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		day := float64(r.IntBetween(0, 363))
+		dlo := float64(r.IntBetween(1, 600))
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("cr_cell_id")[0], agg(sqlgen.AggCountStar, "")},
+			From:    from("call_records"),
+			Where:   []sqlgen.Predicate{between("cr_call_date", day, day+1), between("cr_duration_sec", dlo, dlo+600)},
+			GroupBy: group("cr_cell_id"),
+			OrderBy: order("cr_cell_id"),
+			Limit:   50,
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_device_vendors", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		return &sqlgen.Query{
+			Select:  []sqlgen.SelectItem{sel("dev_os")[0], agg(sqlgen.AggCountStar, "")},
+			From:    from("devices"),
+			Where:   []sqlgen.Predicate{eqChar("dev_vendor", r.IntBetween(0, 24))},
+			GroupBy: group("dev_os"),
+		}
+	}})
+
+	t = append(t, Template{Name: "cust_invoice_payments", Class: "customer", Gen: func(r *statutil.RNG) *sqlgen.Query {
+		bill := float64(r.IntBetween(0, 23))
+		return &sqlgen.Query{
+			Select: []sqlgen.SelectItem{agg(sqlgen.AggCountStar, ""), agg(sqlgen.AggSum, "pay_amount")},
+			From:   from("invoices", "payments"),
+			Joins:  []sqlgen.JoinPred{equi("pay_inv_id", "inv_id")},
+			Where: []sqlgen.Predicate{
+				eqNum("inv_bill_date", bill),
+				eqChar("pay_method", r.IntBetween(0, 4)),
+			},
+		}
+	}})
+
+	return t
+}

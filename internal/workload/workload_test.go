@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/statutil"
+)
+
+func TestCategorize(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Category
+	}{
+		{0.05, Feather},
+		{52, Feather},
+		{179.9, Feather},
+		{180, GolfBall},
+		{1799, GolfBall},
+		{1800, BowlingBall},
+		{7199, BowlingBall},
+		{7200, WreckingBall},
+		{40000, WreckingBall},
+	}
+	for _, c := range cases {
+		if got := Categorize(c.sec); got != c.want {
+			t.Errorf("Categorize(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{
+		Feather: "feather", GolfBall: "golf_ball",
+		BowlingBall: "bowling_ball", WreckingBall: "wrecking_ball",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Category(42).String() == "" {
+		t.Error("unknown category must render")
+	}
+}
+
+func TestTPCDSTemplatesGenerateValidQueries(t *testing.T) {
+	schema := catalog.TPCDS(1)
+	cfg := optimizer.DefaultConfig(4)
+	templates := TPCDSTemplates()
+	if len(templates) != 24 {
+		t.Fatalf("template count = %d, want 24", len(templates))
+	}
+	seenProblem := false
+	for _, tpl := range templates {
+		if tpl.Class == "problem" {
+			seenProblem = true
+		}
+		r := statutil.NewRNG(99, "tpl:"+tpl.Name)
+		for i := 0; i < 5; i++ {
+			q := tpl.Gen(r)
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s instance %d invalid: %v", tpl.Name, i, err)
+			}
+			plan, err := optimizer.BuildPlan(q, schema, 5, cfg)
+			if err != nil {
+				t.Fatalf("%s instance %d does not plan: %v\nSQL: %s", tpl.Name, i, err, q.Render())
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("%s instance %d bad plan: %v", tpl.Name, i, err)
+			}
+		}
+	}
+	if !seenProblem {
+		t.Error("no problem templates found")
+	}
+}
+
+func TestCustomerTemplatesGenerateValidQueries(t *testing.T) {
+	schema := catalog.CustomerSchema()
+	cfg := optimizer.DefaultConfig(4)
+	templates := CustomerTemplates()
+	if len(templates) != 8 {
+		t.Fatalf("template count = %d, want 8", len(templates))
+	}
+	for _, tpl := range templates {
+		if tpl.Class != "customer" {
+			t.Errorf("%s class = %q", tpl.Name, tpl.Class)
+		}
+		r := statutil.NewRNG(7, "tpl:"+tpl.Name)
+		for i := 0; i < 5; i++ {
+			q := tpl.Gen(r)
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s invalid: %v", tpl.Name, err)
+			}
+			if _, err := optimizer.BuildPlan(q, schema, 5, cfg); err != nil {
+				t.Fatalf("%s does not plan: %v", tpl.Name, err)
+			}
+		}
+	}
+}
+
+func TestTemplateSQLRoundTrips(t *testing.T) {
+	// Every generated query's SQL text must parse back (the SQL-text
+	// feature extractor depends on this).
+	r := statutil.NewRNG(3, "roundtrip")
+	for _, tpl := range append(TPCDSTemplates(), CustomerTemplates()...) {
+		q := tpl.Gen(r)
+		sql := q.Render()
+		parsed, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("%s SQL does not parse: %v\n%s", tpl.Name, err, sql)
+		}
+		if parsed.Render() != sql {
+			t.Errorf("%s render not stable", tpl.Name)
+		}
+	}
+}
+
+func TestTemplateConstantsVary(t *testing.T) {
+	// The same template must produce textually different queries on
+	// different draws (the paper's key observation about SQL-text
+	// features depends on constants varying).
+	tpl := TPCDSTemplates()[0]
+	r := statutil.NewRNG(1, "vary")
+	a := tpl.Gen(r).Render()
+	b := tpl.Gen(r).Render()
+	if a == b {
+		t.Error("consecutive instances should differ in constants")
+	}
+}

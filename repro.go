@@ -1,0 +1,105 @@
+// Package repro is a from-scratch Go reproduction of "Predicting Multiple
+// Metrics for Queries: Better Decisions Enabled by Machine Learning"
+// (Ganapathi, Kuno, Dayal, Wiener, Fox, Jordan, Patterson — ICDE 2009).
+//
+// The paper trains a Kernel Canonical Correlation Analysis (KCCA) model
+// that correlates query plan feature vectors (available before execution)
+// with measured performance vectors, then predicts all six performance
+// metrics of an unseen query — elapsed time, records accessed, records
+// used, disk I/Os, message count, message bytes — from the performance
+// vectors of its nearest neighbors in the learned projection.
+//
+// This root package re-exports the library's primary public surface. The
+// implementation lives under internal/:
+//
+//   - internal/core       — the predictor (train / predict / two-step / confidence)
+//   - internal/kcca       — kernel CCA (with internal/cca, /pca, /kernels, /linalg)
+//   - internal/knn        — nearest-neighbor prediction
+//   - internal/regress    — the linear-regression baseline
+//   - internal/cluster    — the K-means baseline
+//   - internal/catalog    — TPC-DS-shaped and customer schemas
+//   - internal/sqlgen     — query ASTs and SQL rendering
+//   - internal/sqlparse   — SQL parsing (for the SQL-text feature vector)
+//   - internal/optimizer  — cost-based optimizer with estimated + true cardinalities
+//   - internal/exec       — parallel database execution simulator (the HP
+//     Neoview stand-in; see DESIGN.md for the substitution rationale)
+//   - internal/workload   — query templates and runtime categorization
+//   - internal/dataset    — labeled dataset assembly
+//   - internal/experiments — every table and figure of the paper's evaluation
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	pool, _ := dataset.Generate(dataset.GenConfig{
+//	    Seed: 1, DataSeed: 2, Machine: exec.Research4(),
+//	    Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: 500,
+//	})
+//	pred, _ := repro.Train(pool.Queries[:450], repro.DefaultOptions())
+//	result, _ := pred.PredictQuery(pool.Queries[450])
+//	fmt.Println(result.Metrics.ElapsedSec, result.Confidence)
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// Predictor predicts the six performance metrics of a query before it
+// executes. See internal/core for the full API.
+type Predictor = core.Predictor
+
+// Options configures predictor training.
+type Options = core.Options
+
+// Prediction is the result of predicting one query: metrics, predicted
+// query type, confidence, and the neighbors used.
+type Prediction = core.Prediction
+
+// FeatureKind selects plan-based (the paper's choice) or SQL-text query
+// features.
+type FeatureKind = core.FeatureKind
+
+// Feature kinds.
+const (
+	PlanFeatures = core.PlanFeatures
+	SQLFeatures  = core.SQLFeatures
+)
+
+// Metrics is the six-metric performance vector.
+type Metrics = exec.Metrics
+
+// Machine is a simulated database system configuration.
+type Machine = exec.Machine
+
+// Query is one executed query with its plan, SQL, metrics, and category.
+type Query = dataset.Query
+
+// Category is the paper's runtime classification (feather, golf ball,
+// bowling ball, wrecking ball).
+type Category = workload.Category
+
+// Query categories.
+const (
+	Feather      = workload.Feather
+	GolfBall     = workload.GolfBall
+	BowlingBall  = workload.BowlingBall
+	WreckingBall = workload.WreckingBall
+)
+
+// Train fits a predictor on executed training queries.
+func Train(train []*Query, opt Options) (*Predictor, error) {
+	return core.Train(train, opt)
+}
+
+// DefaultOptions returns the paper's final configuration: plan features,
+// Gaussian kernels with the 0.1/0.2 scale-fraction heuristic, k = 3
+// Euclidean neighbors with equal weighting.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Research4 returns the paper's 4-processor research system configuration.
+func Research4() Machine { return exec.Research4() }
+
+// Production32 returns a configuration of the paper's 32-node production
+// system using p of the 32 processors.
+func Production32(p int) Machine { return exec.Production32(p) }

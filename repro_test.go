@@ -1,0 +1,70 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// TestPublicAPIEndToEnd exercises the root package's re-exported surface
+// the way the README shows it.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	pool, err := dataset.Generate(dataset.GenConfig{
+		Seed: 7, DataSeed: 1000,
+		Machine:   repro.Research4(),
+		Schema:    catalog.TPCDS(1),
+		Templates: workload.TPCDSTemplates(),
+		Count:     120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := pool.Queries[:100]
+	test := pool.Queries[100:]
+
+	predictor, err := repro.Train(train, repro.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predictor.N() != 100 {
+		t.Errorf("N = %d", predictor.N())
+	}
+	for _, q := range test {
+		pred, err := predictor.PredictQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Metrics.ElapsedSec <= 0 {
+			t.Errorf("nonpositive prediction for %s", q.Template)
+		}
+		if pred.Category < repro.Feather || pred.Category > repro.WreckingBall {
+			t.Errorf("category out of range: %v", pred.Category)
+		}
+	}
+}
+
+// TestPublicAPITypesAlias verifies the aliases point at the real types.
+func TestPublicAPITypesAlias(t *testing.T) {
+	var m repro.Metrics = exec.Metrics{ElapsedSec: 1}
+	if m.ElapsedSec != 1 {
+		t.Error("Metrics alias broken")
+	}
+	var c repro.Category = workload.GolfBall
+	if c.String() != "golf_ball" {
+		t.Error("Category alias broken")
+	}
+	if repro.Production32(8).Processors != 8 {
+		t.Error("Production32 wrapper broken")
+	}
+	opt := repro.DefaultOptions()
+	if opt.Features != repro.PlanFeatures {
+		t.Error("default options should use plan features")
+	}
+	if repro.SQLFeatures.String() != "sql-text" {
+		t.Error("SQLFeatures alias broken")
+	}
+}
