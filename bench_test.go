@@ -23,7 +23,9 @@ import (
 	"repro/internal/kcca"
 	"repro/internal/kernels"
 	"repro/internal/linalg"
+	"repro/internal/knn"
 	"repro/internal/optimizer"
+	"repro/internal/parallel"
 	"repro/internal/sqlgen"
 	"repro/internal/sqlparse"
 	"repro/internal/statutil"
@@ -472,16 +474,84 @@ func BenchmarkSQLParse(b *testing.B) {
 	}
 }
 
+// serialParallel runs the body once pinned to one worker and once with the
+// full pool, as /serial and /parallel sub-benchmarks. The equivalence tests
+// prove the two paths produce identical results; these measure the spread.
+func serialParallel(b *testing.B, body func(b *testing.B)) {
+	b.Run("serial", func(b *testing.B) {
+		defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+		body(b)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		defer parallel.SetMaxProcs(parallel.SetMaxProcs(0))
+		body(b)
+	})
+}
+
 func BenchmarkKernelMatrix(b *testing.B) {
-	r := statutil.NewRNG(2, "kmat")
-	x := linalg.NewMatrix(256, 24)
-	for i := range x.Data {
-		x.Data[i] = r.NormFloat64()
+	for _, n := range []int{200, 1000, 4000} {
+		r := statutil.NewRNG(2, "kmat")
+		x := linalg.NewMatrix(n, 24)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		tau := kernels.ScaleHeuristic(x, 0.1)
+		b.Run(benchName("n", n), func(b *testing.B) {
+			serialParallel(b, func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					kernels.Matrix(x, tau)
+				}
+			})
+		})
 	}
-	tau := kernels.ScaleHeuristic(x, 0.1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		kernels.Matrix(x, tau)
+}
+
+func BenchmarkKNNSearch(b *testing.B) {
+	for _, n := range []int{200, 1000, 4000} {
+		r := statutil.NewRNG(5, "knnsearch")
+		points := linalg.NewMatrix(n, 16)
+		for i := range points.Data {
+			points.Data[i] = r.NormFloat64()
+		}
+		queries := linalg.NewMatrix(256, 16)
+		for i := range queries.Data {
+			queries.Data[i] = r.NormFloat64()
+		}
+		b.Run(benchName("n", n), func(b *testing.B) {
+			serialParallel(b, func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := knn.Search(points, queries, 3, knn.Euclidean); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	l := lab(b)
+	model, _, test, err := l.Exp1Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{200, 1000, 4000} {
+		batch := make([]*dataset.Query, n)
+		for i := range batch {
+			batch[i] = test[i%len(test)]
+		}
+		b.Run(benchName("n", n), func(b *testing.B) {
+			serialParallel(b, func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := model.PredictBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -154,13 +154,13 @@ func selfEvaluate(pool *dataset.Dataset, opt core.Options) {
 	if err != nil {
 		fatal("training: %v", err)
 	}
+	preds, err := predictor.PredictBatch(test)
+	if err != nil {
+		fatal("predicting: %v", err)
+	}
 	var pred, act []float64
-	for _, q := range test {
-		p, err := predictor.PredictQuery(q)
-		if err != nil {
-			fatal("predicting: %v", err)
-		}
-		pred = append(pred, p.Metrics.ElapsedSec)
+	for i, q := range test {
+		pred = append(pred, preds[i].Metrics.ElapsedSec)
 		act = append(act, q.Metrics.ElapsedSec)
 	}
 	fmt.Printf("self-evaluation on %d held-out queries:\n", len(test))

@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/knn"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/statutil"
 	"repro/internal/workload"
 )
@@ -254,6 +255,27 @@ func (p *Predictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
 		return nil, err
 	}
 	return p.PredictVector(f)
+}
+
+// PredictBatch predicts many queries at once, fanning the projection + kNN
+// pipeline of Fig. 7 out across the shared worker pool (a trained Predictor
+// is immutable, so concurrent predictions are safe). Results are
+// positionally identical to calling PredictQuery in a loop; the first error
+// encountered (by query order) is returned.
+func (p *Predictor) PredictBatch(qs []*dataset.Query) ([]*Prediction, error) {
+	preds := make([]*Prediction, len(qs))
+	errs := make([]error, len(qs))
+	parallel.For(len(qs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			preds[i], errs[i] = p.PredictQuery(qs[i])
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	return preds, nil
 }
 
 // PredictVector predicts from a raw query feature vector.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // The paper predicts single-query-mode performance and uses the
@@ -29,6 +31,34 @@ type ConcurrentOutcome struct {
 	Makespan float64
 	// MaxRunning is the peak multiprogramming level observed.
 	MaxRunning int
+}
+
+// Scenario is one admission-policy setting to evaluate: a multiprogramming
+// bound and an interference exponent.
+type Scenario struct {
+	MaxConcurrent int
+	Interference  float64
+}
+
+// SimulateScenarios evaluates many admission policies over the same
+// workload, one SimulateConcurrent run per scenario, fanned out on the
+// shared worker pool (each run reads the input slices and writes only its
+// own outcome, so results are identical to a serial loop). Workload
+// managers use it to sweep candidate multiprogramming levels in one call.
+func SimulateScenarios(arrivalSec, soloSec []float64, scenarios []Scenario) ([]ConcurrentOutcome, error) {
+	outs := make([]ConcurrentOutcome, len(scenarios))
+	errs := make([]error, len(scenarios))
+	parallel.For(len(scenarios), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outs[i], errs[i] = SimulateConcurrent(arrivalSec, soloSec, scenarios[i].MaxConcurrent, scenarios[i].Interference)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
 }
 
 // SimulateConcurrent runs the processor-sharing simulation. arrivalSec and

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/dataset"
 	"repro/internal/exec"
 	"repro/internal/statutil"
 )
@@ -36,16 +37,19 @@ func (l *Lab) ContentionWhatIf() (*ContentionResult, error) {
 	}
 	// Keep the short-to-medium queries: a workload manager would never
 	// co-schedule wrecking balls into a shared interactive pool.
-	var predSolo, actSolo []float64
+	var kept []*dataset.Query
 	for _, q := range test {
-		if q.Metrics.ElapsedSec > 1800 {
-			continue
+		if q.Metrics.ElapsedSec <= 1800 {
+			kept = append(kept, q)
 		}
-		p, err := model.PredictQuery(q)
-		if err != nil {
-			return nil, err
-		}
-		predSolo = append(predSolo, math.Max(p.Metrics.ElapsedSec, 1e-3))
+	}
+	preds, err := model.PredictBatch(kept)
+	if err != nil {
+		return nil, err
+	}
+	var predSolo, actSolo []float64
+	for i, q := range kept {
+		predSolo = append(predSolo, math.Max(preds[i].Metrics.ElapsedSec, 1e-3))
 		actSolo = append(actSolo, q.Metrics.ElapsedSec)
 	}
 	// Poisson-ish arrivals over ten minutes.
@@ -59,20 +63,25 @@ func (l *Lab) ContentionWhatIf() (*ContentionResult, error) {
 
 	res := &ContentionResult{Queries: len(predSolo)}
 	const interference = 0.7
-	for _, slots := range []int{1, 2, 4, 8} {
-		pred, err := exec.SimulateConcurrent(arrivals, predSolo, slots, interference)
-		if err != nil {
-			return nil, err
-		}
-		act, err := exec.SimulateConcurrent(arrivals, actSolo, slots, interference)
-		if err != nil {
-			return nil, err
-		}
-		relErr := math.Abs(pred.Makespan-act.Makespan) / act.Makespan
+	slots := []int{1, 2, 4, 8}
+	scenarios := make([]exec.Scenario, len(slots))
+	for i, s := range slots {
+		scenarios[i] = exec.Scenario{MaxConcurrent: s, Interference: interference}
+	}
+	predOuts, err := exec.SimulateScenarios(arrivals, predSolo, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	actOuts, err := exec.SimulateScenarios(arrivals, actSolo, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range slots {
+		relErr := math.Abs(predOuts[i].Makespan-actOuts[i].Makespan) / actOuts[i].Makespan
 		res.Rows = append(res.Rows, ContentionRow{
-			Slots:             slots,
-			PredictedMakespan: pred.Makespan,
-			ActualMakespan:    act.Makespan,
+			Slots:             s,
+			PredictedMakespan: predOuts[i].Makespan,
+			ActualMakespan:    actOuts[i].Makespan,
 			RelativeError:     relErr,
 		})
 	}

@@ -289,15 +289,16 @@ func (l *Lab) splitProd(ds *dataset.Dataset) (train, test []*dataset.Query) {
 	return train, test
 }
 
-// Evaluate runs the predictor over the test queries and returns per-metric
-// prediction and actual series (indexed by exec metric constants).
+// Evaluate runs the predictor over the test queries (batched across the
+// worker pool) and returns per-metric prediction and actual series (indexed
+// by exec metric constants).
 func Evaluate(p *core.Predictor, test []*dataset.Query) (pred, act [exec.NumMetrics][]float64, err error) {
-	for _, q := range test {
-		pr, perr := p.PredictQuery(q)
-		if perr != nil {
-			return pred, act, perr
-		}
-		pv := pr.Metrics.Vector()
+	prs, err := p.PredictBatch(test)
+	if err != nil {
+		return pred, act, err
+	}
+	for i, q := range test {
+		pv := prs[i].Metrics.Vector()
 		av := q.Metrics.Vector()
 		for m := 0; m < exec.NumMetrics; m++ {
 			pred[m] = append(pred[m], pv[m])

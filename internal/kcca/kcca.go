@@ -16,6 +16,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/kernels"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Options configures KCCA training.
@@ -100,10 +101,17 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 		tauY = kernels.ScaleHeuristic(y, opt.TauFracY)
 	}
 
-	kx := kernels.Matrix(x, tauX)
-	ky := kernels.Matrix(y, tauY)
-	kxC, rowMeansX, grandX := kernels.Center(kx)
-	kyC, _, _ := kernels.Center(ky)
+	// The query-side and performance-side views are independent until the
+	// CCA fit, so each view's kernel matrix and centering run as one task on
+	// the shared worker pool (each task's internals parallelize further when
+	// the pool has idle workers).
+	var kxC, kyC *linalg.Matrix
+	var rowMeansX []float64
+	var grandX float64
+	parallel.Do(
+		func() { kxC, rowMeansX, grandX = kernels.Center(kernels.Matrix(x, tauX)) },
+		func() { kyC, _, _ = kernels.Center(kernels.Matrix(y, tauY)) },
+	)
 
 	rank := opt.Rank
 	if rank <= 0 {
@@ -119,13 +127,18 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 		rank = n - 1
 	}
 
-	phiX, ux, lamx, err := kernelPCA(kxC, rank)
-	if err != nil {
-		return nil, err
+	var phiX, phiY, ux *linalg.Matrix
+	var lamx []float64
+	var errX, errY error
+	parallel.Do(
+		func() { phiX, ux, lamx, errX = kernelPCA(kxC, rank) },
+		func() { phiY, _, _, errY = kernelPCA(kyC, rank) },
+	)
+	if errX != nil {
+		return nil, errX
 	}
-	phiY, _, _, err := kernelPCA(kyC, rank)
-	if err != nil {
-		return nil, err
+	if errY != nil {
+		return nil, errY
 	}
 
 	dims := opt.Dims

@@ -1,0 +1,95 @@
+package kernels
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+	"repro/internal/statutil"
+)
+
+// The parallel kernel paths promise bit-for-bit equality with the serial
+// path at every worker count: each matrix element is computed by exactly
+// one worker with arithmetic identical to the serial loop. These tests hold
+// them to exact equality (stronger than the 1e-12 budget the non-order-
+// preserving kernels are allowed).
+
+func equivWorkerCounts() []int { return []int{1, 2, 7, runtime.NumCPU()} }
+
+func randMatrix(seed int64, r, c int) *linalg.Matrix {
+	rng := statutil.NewRNG(seed, "kernels-equiv")
+	m := linalg.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * 5
+	}
+	return m
+}
+
+func TestMatrixParallelMatchesSerial(t *testing.T) {
+	for _, n := range []int{3, 17, 120, 333} {
+		x := randMatrix(int64(n), n, 9)
+		tau := ScaleHeuristic(x, 0.1)
+
+		defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+		want := Matrix(x, tau)
+
+		for _, w := range equivWorkerCounts() {
+			parallel.SetMaxProcs(w)
+			got := Matrix(x, tau)
+			for i, v := range got.Data {
+				if v != want.Data[i] {
+					t.Fatalf("n=%d workers=%d: element %d = %v, serial %v", n, w, i, v, want.Data[i])
+				}
+			}
+		}
+		parallel.SetMaxProcs(0)
+	}
+}
+
+func TestCrossVectorParallelMatchesSerial(t *testing.T) {
+	x := randMatrix(7, 513, 12)
+	q := randMatrix(8, 1, 12).Row(0)
+	tau := ScaleHeuristic(x, 0.1)
+
+	defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+	want := CrossVector(x, q, tau)
+
+	for _, w := range equivWorkerCounts() {
+		parallel.SetMaxProcs(w)
+		got := CrossVector(x, q, tau)
+		for i, v := range got {
+			if v != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, serial %v", w, i, v, want[i])
+			}
+		}
+	}
+	parallel.SetMaxProcs(0)
+}
+
+func TestCenterParallelMatchesSerial(t *testing.T) {
+	x := randMatrix(9, 201, 7)
+	k := Matrix(x, ScaleHeuristic(x, 0.1))
+
+	defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+	wantC, wantRM, wantGM := Center(k)
+
+	for _, w := range equivWorkerCounts() {
+		parallel.SetMaxProcs(w)
+		gotC, gotRM, gotGM := Center(k)
+		if gotGM != wantGM {
+			t.Fatalf("workers=%d: grand mean %v, serial %v", w, gotGM, wantGM)
+		}
+		for i := range gotRM {
+			if gotRM[i] != wantRM[i] {
+				t.Fatalf("workers=%d: row mean %d = %v, serial %v", w, i, gotRM[i], wantRM[i])
+			}
+		}
+		for i, v := range gotC.Data {
+			if v != wantC.Data[i] {
+				t.Fatalf("workers=%d: centered element %d = %v, serial %v", w, i, v, wantC.Data[i])
+			}
+		}
+	}
+	parallel.SetMaxProcs(0)
+}

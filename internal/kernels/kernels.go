@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Gaussian returns exp(−‖a−b‖²/τ), the paper's Eq. (1).
@@ -44,19 +45,25 @@ func ScaleHeuristic(rows *linalg.Matrix, frac float64) float64 {
 	return tau
 }
 
-// Matrix computes the N×N Gaussian kernel matrix of the rows of x.
+// Matrix computes the N×N Gaussian kernel matrix of the rows of x. Rows are
+// partitioned across the shared worker pool; element (i, j) with i < j is
+// computed exactly once (by the worker owning row i, which mirrors it to
+// (j, i)), so the result is identical to the serial loop at every worker
+// count.
 func Matrix(x *linalg.Matrix, tau float64) *linalg.Matrix {
 	n := x.Rows
 	k := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		k.Set(i, i, 1)
-		ri := x.Row(i)
-		for j := i + 1; j < n; j++ {
-			v := Gaussian(ri, x.Row(j), tau)
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+	parallel.For(n, parallel.GrainFor(n*x.Cols/2+1, 1<<15), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.Set(i, i, 1)
+			ri := x.Row(i)
+			for j := i + 1; j < n; j++ {
+				v := Gaussian(ri, x.Row(j), tau)
+				k.Set(i, j, v)
+				k.Set(j, i, v)
+			}
 		}
-	}
+	})
 	return k
 }
 
@@ -67,9 +74,11 @@ func CrossVector(x *linalg.Matrix, q []float64, tau float64) []float64 {
 		panic(fmt.Sprintf("kernels: query has %d features, want %d", len(q), x.Cols))
 	}
 	out := make([]float64, x.Rows)
-	for i := range out {
-		out[i] = Gaussian(x.Row(i), q, tau)
-	}
+	parallel.For(x.Rows, parallel.GrainFor(x.Cols, 1<<14), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Gaussian(x.Row(i), q, tau)
+		}
+	})
 	return out
 }
 
@@ -80,16 +89,21 @@ func CrossVector(x *linalg.Matrix, q []float64, tau float64) []float64 {
 func Center(k *linalg.Matrix) (centered *linalg.Matrix, rowMeans []float64, grandMean float64) {
 	n := k.Rows
 	rowMeans = make([]float64, n)
-	for i := 0; i < n; i++ {
-		rowMeans[i] = linalg.Mean(k.Row(i))
-	}
+	grain := parallel.GrainFor(n, 1<<15)
+	parallel.For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rowMeans[i] = linalg.Mean(k.Row(i))
+		}
+	})
 	grandMean = linalg.Mean(rowMeans)
 	centered = linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			centered.Set(i, j, k.At(i, j)-rowMeans[i]-rowMeans[j]+grandMean)
+	parallel.For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				centered.Set(i, j, k.At(i, j)-rowMeans[i]-rowMeans[j]+grandMean)
+			}
 		}
-	}
+	})
 	return centered, rowMeans, grandMean
 }
 

@@ -1,0 +1,152 @@
+package knn
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+	"repro/internal/statutil"
+)
+
+func equivWorkerCounts() []int { return []int{1, 2, 7, runtime.NumCPU()} }
+
+func randPoints(seed int64, r, c int) *linalg.Matrix {
+	rng := statutil.NewRNG(seed, "knn-equiv")
+	m := linalg.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNearestParallelMatchesSerial(t *testing.T) {
+	for _, metric := range []Distance{Euclidean, Cosine} {
+		points := randPoints(3, 409, 6)
+		q := randPoints(4, 1, 6).Row(0)
+
+		defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+		want, err := Nearest(points, q, 5, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, w := range equivWorkerCounts() {
+			parallel.SetMaxProcs(w)
+			got, err := Nearest(points, q, 5, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("metric=%v workers=%d: %d neighbors, serial %d", metric, w, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("metric=%v workers=%d: neighbor %d = %+v, serial %+v", metric, w, i, got[i], want[i])
+				}
+			}
+		}
+		parallel.SetMaxProcs(0)
+	}
+}
+
+func TestSearchMatchesNearestLoop(t *testing.T) {
+	points := randPoints(5, 301, 8)
+	queries := randPoints(6, 37, 8)
+	const k = 4
+
+	// Serial oracle: Nearest per query at one worker.
+	defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+	want := make([][]Neighbor, queries.Rows)
+	for i := 0; i < queries.Rows; i++ {
+		nbs, err := Nearest(points, queries.Row(i), k, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = nbs
+	}
+
+	for _, w := range equivWorkerCounts() {
+		parallel.SetMaxProcs(w)
+		got, err := Search(points, queries, k, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range got {
+			if len(got[qi]) != len(want[qi]) {
+				t.Fatalf("workers=%d query %d: %d neighbors, want %d", w, qi, len(got[qi]), len(want[qi]))
+			}
+			for i := range got[qi] {
+				if got[qi][i] != want[qi][i] {
+					t.Fatalf("workers=%d query %d neighbor %d = %+v, serial %+v", w, qi, i, got[qi][i], want[qi][i])
+				}
+			}
+		}
+	}
+	parallel.SetMaxProcs(0)
+}
+
+func TestSearchRejectsBadInput(t *testing.T) {
+	points := randPoints(7, 10, 3)
+	queries := randPoints(8, 2, 4)
+	if _, err := Search(points, queries, 3, Euclidean); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+	if _, err := Search(points, randPoints(9, 2, 3), 0, Euclidean); err == nil {
+		t.Fatal("k=0 not rejected")
+	}
+	if _, err := Search(linalg.NewMatrix(0, 3), randPoints(10, 2, 3), 3, Euclidean); err == nil {
+		t.Fatal("empty point set not rejected")
+	}
+}
+
+// TestTieBreakByIndexWithDuplicateRows is the regression test for
+// nondeterministic tie-breaking: with deliberately duplicated training
+// rows, equal-distance neighbors must come back ordered by index at every
+// worker count, so parallel partitioning can never reorder downstream
+// predictions (rank weighting makes order observable).
+func TestTieBreakByIndexWithDuplicateRows(t *testing.T) {
+	// Rows 2, 5, 9, 11 are identical, all at distance 0 from the query;
+	// rows 0 and 7 are identical at a larger distance.
+	base := [][]float64{
+		{4, 4}, // 0: dup far pair
+		{9, 9},
+		{1, 2}, // 2: dup of 5, 9, 11
+		{8, 1},
+		{7, 7},
+		{1, 2}, // 5
+		{6, 0},
+		{4, 4}, // 7: dup of 0
+		{9, 1},
+		{1, 2}, // 9
+		{5, 5},
+		{1, 2}, // 11
+	}
+	points := linalg.FromRows(base)
+	q := []float64{1, 2}
+
+	wantIdx := []int{2, 5, 9, 11, 0, 7}
+	for _, w := range equivWorkerCounts() {
+		defer parallel.SetMaxProcs(parallel.SetMaxProcs(w))
+		nbs, err := Nearest(points, q, 6, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, nb := range nbs {
+			if nb.Index != wantIdx[i] {
+				t.Fatalf("workers=%d: neighbor %d has index %d, want %d (ties must break by index)", w, i, nb.Index, wantIdx[i])
+			}
+		}
+		// The batch path must agree with the single-query path.
+		res, err := Search(points, linalg.FromRows([][]float64{q}), 6, Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, nb := range res[0] {
+			if nb.Index != wantIdx[i] {
+				t.Fatalf("workers=%d: Search neighbor %d has index %d, want %d", w, i, nb.Index, wantIdx[i])
+			}
+		}
+		parallel.SetMaxProcs(0)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Distance selects the neighbor distance metric.
@@ -74,7 +75,11 @@ func DefaultOptions() Options {
 }
 
 // Nearest returns the k nearest rows of points to q under the metric,
-// sorted by ascending distance.
+// sorted by ascending (distance, index). The index tie-break is load-
+// bearing: equal-distance neighbors (duplicated training rows are common in
+// template workloads) must order identically no matter how the distance
+// computation was partitioned, or parallel runs could silently reorder
+// predictions under weighted combination.
 func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neighbor, error) {
 	n := points.Rows
 	if n == 0 {
@@ -87,22 +92,79 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 		k = n
 	}
 	all := make([]Neighbor, n)
-	for i := 0; i < n; i++ {
-		var d float64
-		if metric == Cosine {
-			d = linalg.CosineDistance(points.Row(i), q)
-		} else {
-			d = linalg.Dist(points.Row(i), q)
+	// Distance computation fans out across the worker pool; each index is
+	// written by exactly one worker, so the slice contents match the serial
+	// loop exactly and the sort below sees identical input.
+	parallel.For(n, parallel.GrainFor(points.Cols, 1<<14), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var d float64
+			if metric == Cosine {
+				d = linalg.CosineDistance(points.Row(i), q)
+			} else {
+				d = linalg.Dist(points.Row(i), q)
+			}
+			all[i] = Neighbor{Index: i, Distance: d}
 		}
-		all[i] = Neighbor{Index: i, Distance: d}
-	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].Distance != all[b].Distance {
-			return all[a].Distance < all[b].Distance
-		}
-		return all[a].Index < all[b].Index
 	})
+	sort.Slice(all, func(a, b int) bool { return less(all[a], all[b]) })
 	return all[:k], nil
+}
+
+// less is the total order on neighbors: ascending distance, then ascending
+// index. NaN distances sort last so poisoned rows never shadow real
+// neighbors.
+func less(a, b Neighbor) bool {
+	if a.Distance != b.Distance {
+		if math.IsNaN(a.Distance) {
+			return false
+		}
+		if math.IsNaN(b.Distance) {
+			return true
+		}
+		return a.Distance < b.Distance
+	}
+	return a.Index < b.Index
+}
+
+// Search answers a batch of queries at once: result row i holds the k
+// nearest neighbors of queries.Row(i), each sorted by ascending
+// (distance, index) exactly as Nearest returns them. Queries fan out across
+// the worker pool (each query's own distance pass stays serial to avoid
+// oversubscribing it); results are positionally identical to calling
+// Nearest in a loop.
+func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbor, error) {
+	if queries.Cols != points.Cols {
+		return nil, errors.New("knn: query and point dimensions differ")
+	}
+	n := points.Rows
+	if n == 0 {
+		return nil, errors.New("knn: no points")
+	}
+	if k <= 0 {
+		return nil, errors.New("knn: nonpositive k")
+	}
+	if k > n {
+		k = n
+	}
+	out := make([][]Neighbor, queries.Rows)
+	parallel.For(queries.Rows, 1, func(lo, hi int) {
+		for qi := lo; qi < hi; qi++ {
+			q := queries.Row(qi)
+			all := make([]Neighbor, n)
+			for i := 0; i < n; i++ {
+				var d float64
+				if metric == Cosine {
+					d = linalg.CosineDistance(points.Row(i), q)
+				} else {
+					d = linalg.Dist(points.Row(i), q)
+				}
+				all[i] = Neighbor{Index: i, Distance: d}
+			}
+			sort.Slice(all, func(a, b int) bool { return less(all[a], all[b]) })
+			out[qi] = all[:k:k]
+		}
+	})
+	return out, nil
 }
 
 // Combine merges the value vectors of the neighbors (rows of values

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // EigenSym holds the eigendecomposition of a real symmetric matrix:
@@ -114,12 +116,20 @@ func tred2(v *Matrix, d, e []float64) {
 			for j := 0; j < i; j++ {
 				e[j] -= hh * d[j]
 			}
-			for j := 0; j < i; j++ {
-				f = d[j]
-				g = e[j]
-				for k := j; k <= i-1; k++ {
-					v.Set(k, j, v.At(k, j)-(f*e[k]+g*d[k]))
+			// Column updates are independent (column j only reads d and e,
+			// which are fixed here, plus its own entries), so they go to the
+			// worker pool; the d refresh moves after the barrier because
+			// column j's final entries are written only by its own worker.
+			parallel.For(i, parallel.GrainFor(i/2+1, 1<<14), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					fj := d[j]
+					gj := e[j]
+					for k := j; k <= i-1; k++ {
+						v.Set(k, j, v.At(k, j)-(fj*e[k]+gj*d[k]))
+					}
 				}
+			})
+			for j := 0; j < i; j++ {
 				d[j] = v.At(i-1, j)
 				v.Set(i, j, 0)
 			}
@@ -135,15 +145,19 @@ func tred2(v *Matrix, d, e []float64) {
 			for k := 0; k <= i; k++ {
 				d[k] = v.At(k, i+1) / h
 			}
-			for j := 0; j <= i; j++ {
-				g := 0.0
-				for k := 0; k <= i; k++ {
-					g += v.At(k, i+1) * v.At(k, j)
+			// Independent per column j: reads column i+1 and d (both fixed),
+			// writes only column j. Exact at every worker count.
+			parallel.For(i+1, parallel.GrainFor(i+1, 1<<14), func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					g := 0.0
+					for k := 0; k <= i; k++ {
+						g += v.At(k, i+1) * v.At(k, j)
+					}
+					for k := 0; k <= i; k++ {
+						v.Set(k, j, v.At(k, j)-g*d[k])
+					}
 				}
-				for k := 0; k <= i; k++ {
-					v.Set(k, j, v.At(k, j)-g*d[k])
-				}
-			}
+			})
 		}
 		for k := 0; k <= i; k++ {
 			v.Set(k, i+1, 0)
@@ -219,12 +233,18 @@ func tql2(v *Matrix, d, e []float64) error {
 					c = p / r
 					p = c*d[i] - s*g
 					d[i+1] = h + s*(c*g+s*d[i])
-					// Accumulate transformation.
-					for k := 0; k < n; k++ {
-						h = v.At(k, i+1)
-						v.Set(k, i+1, s*v.At(k, i)+c*h)
-						v.Set(k, i, c*v.At(k, i)-s*h)
-					}
+					// Accumulate transformation: a Givens rotation of columns
+					// (i, i+1), independent per row k. The grain keeps small
+					// matrices on the exact serial path; h is shadowed so the
+					// outer variable is untouched under parallel execution.
+					cc, ss := c, s
+					parallel.For(n, parallel.GrainFor(6, 1<<14), func(lo, hi int) {
+						for k := lo; k < hi; k++ {
+							hk := v.At(k, i+1)
+							v.Set(k, i+1, ss*v.At(k, i)+cc*hk)
+							v.Set(k, i, cc*v.At(k, i)-ss*hk)
+						}
+					})
 				}
 				p = -s * s2 * c3 * el1 * e[l] / dl1
 				e[l] = s * p

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -103,20 +105,25 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	// ikj loop order for cache friendliness on row-major storage.
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
+	// ikj loop order for cache friendliness on row-major storage. Output
+	// rows are independent, so row blocks go to the worker pool; each
+	// element keeps the serial k-ascending summation order and the result
+	// is exact at every worker count.
+	parallel.For(m.Rows, parallel.GrainFor(m.Cols*b.Cols, 1<<15), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k, aik := range arow {
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bkj := range brow {
+					orow[j] += aik * bkj
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -126,9 +133,11 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), v)
-	}
+	parallel.For(m.Rows, parallel.GrainFor(m.Cols, 1<<14), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(m.Row(i), v)
+		}
+	})
 	return out
 }
 
@@ -138,15 +147,24 @@ func (m *Matrix) TMulVec(v []float64) []float64 {
 		panic(fmt.Sprintf("linalg: TMulVec dimension mismatch %dx%d, vec %d", m.Rows, m.Cols, len(v)))
 	}
 	out := make([]float64, m.Cols)
-	for i, vi := range v {
-		if vi == 0 {
-			continue
-		}
-		row := m.Row(i)
-		for j, mij := range row {
-			out[j] += vi * mij
-		}
+	// Parallel over disjoint column blocks; every out[j] accumulates over i
+	// in the same ascending order as the serial loop, so results are exact.
+	g := parallel.GrainFor(m.Rows, 1<<14)
+	if g < 8 {
+		g = 8
 	}
+	parallel.For(m.Cols, g, func(lo, hi int) {
+		for i, vi := range v {
+			if vi == 0 {
+				continue
+			}
+			row := m.Row(i)[lo:hi]
+			o := out[lo:hi]
+			for j, mij := range row {
+				o[j] += vi * mij
+			}
+		}
+	})
 	return out
 }
 
@@ -156,19 +174,28 @@ func (m *Matrix) TMul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: TMul dimension mismatch %dx%d ᵀ* %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Cols, b.Cols)
-	for k := 0; k < m.Rows; k++ {
-		arow := m.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for j, bkj := range brow {
-				orow[j] += aki * bkj
+	// Parallel over disjoint column blocks of the output: each worker walks
+	// the shared k rows but touches only its own columns of out, keeping the
+	// serial k-ascending summation order per element (exact results).
+	g := parallel.GrainFor(m.Rows*m.Cols, 1<<16)
+	if g < 16 {
+		g = 16
+	}
+	parallel.For(b.Cols, g, func(lo, hi int) {
+		for k := 0; k < m.Rows; k++ {
+			arow := m.Row(k)
+			brow := b.Row(k)[lo:hi]
+			for i, aki := range arow {
+				if aki == 0 {
+					continue
+				}
+				orow := out.Data[i*b.Cols+lo : i*b.Cols+hi]
+				for j, bkj := range brow {
+					orow[j] += aki * bkj
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -178,13 +205,15 @@ func (m *Matrix) MulT(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: MulT dimension mismatch %dx%d *ᵀ %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Rows)
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = Dot(arow, b.Row(j))
+	parallel.For(m.Rows, parallel.GrainFor(m.Cols*b.Rows, 1<<15), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // SVDFactor holds a thin singular value decomposition A = U · diag(S) · Vᵀ,
@@ -65,20 +67,24 @@ func svdTall(arg *Matrix) (*SVDFactor, error) {
 			}
 			s[k] = -s[k]
 		}
-		for j := k + 1; j < n; j++ {
-			if k < nct && s[k] != 0 {
-				// Apply the transformation.
-				t := 0.0
-				for i := k; i < m; i++ {
-					t += a.At(i, k) * a.At(i, j)
+		// Householder application is independent per column j > k (column k
+		// is read-only here), so column blocks go to the worker pool.
+		parallel.For(n-(k+1), parallel.GrainFor(2*(m-k)+1, 1<<14), func(lo, hi int) {
+			for j := k + 1 + lo; j < k+1+hi; j++ {
+				if k < nct && s[k] != 0 {
+					// Apply the transformation.
+					t := 0.0
+					for i := k; i < m; i++ {
+						t += a.At(i, k) * a.At(i, j)
+					}
+					t = -t / a.At(k, k)
+					for i := k; i < m; i++ {
+						a.Set(i, j, a.At(i, j)+t*a.At(i, k))
+					}
 				}
-				t = -t / a.At(k, k)
-				for i := k; i < m; i++ {
-					a.Set(i, j, a.At(i, j)+t*a.At(i, k))
-				}
+				e[j] = a.At(k, j)
 			}
-			e[j] = a.At(k, j)
-		}
+		})
 		if k < nct {
 			for i := k; i < m; i++ {
 				u.Set(i, k, a.At(i, k))
@@ -144,16 +150,20 @@ func svdTall(arg *Matrix) (*SVDFactor, error) {
 	}
 	for k := nct - 1; k >= 0; k-- {
 		if s[k] != 0 {
-			for j := k + 1; j < nu; j++ {
-				t := 0.0
-				for i := k; i < m; i++ {
-					t += u.At(i, k) * u.At(i, j)
+			// Column k is only modified after this loop, so columns j > k
+			// update independently.
+			parallel.For(nu-(k+1), parallel.GrainFor(2*(m-k)+1, 1<<14), func(lo, hi int) {
+				for j := k + 1 + lo; j < k+1+hi; j++ {
+					t := 0.0
+					for i := k; i < m; i++ {
+						t += u.At(i, k) * u.At(i, j)
+					}
+					t = -t / u.At(k, k)
+					for i := k; i < m; i++ {
+						u.Set(i, j, u.At(i, j)+t*u.At(i, k))
+					}
 				}
-				t = -t / u.At(k, k)
-				for i := k; i < m; i++ {
-					u.Set(i, j, u.At(i, j)+t*u.At(i, k))
-				}
-			}
+			})
 			for i := k; i < m; i++ {
 				u.Set(i, k, -u.At(i, k))
 			}
@@ -172,16 +182,18 @@ func svdTall(arg *Matrix) (*SVDFactor, error) {
 	// Generate V.
 	for k := n - 1; k >= 0; k-- {
 		if k < nrt && e[k] != 0 {
-			for j := k + 1; j < nu; j++ {
-				t := 0.0
-				for i := k + 1; i < n; i++ {
-					t += v.At(i, k) * v.At(i, j)
+			parallel.For(nu-(k+1), parallel.GrainFor(2*(n-k)+1, 1<<14), func(lo, hi int) {
+				for j := k + 1 + lo; j < k+1+hi; j++ {
+					t := 0.0
+					for i := k + 1; i < n; i++ {
+						t += v.At(i, k) * v.At(i, j)
+					}
+					t = -t / v.At(k+1, k)
+					for i := k + 1; i < n; i++ {
+						v.Set(i, j, v.At(i, j)+t*v.At(i, k))
+					}
 				}
-				t = -t / v.At(k+1, k)
-				for i := k + 1; i < n; i++ {
-					v.Set(i, j, v.At(i, j)+t*v.At(i, k))
-				}
-			}
+			})
 		}
 		for i := 0; i < n; i++ {
 			v.Set(i, k, 0)
@@ -309,11 +321,7 @@ func svdTall(arg *Matrix) (*SVDFactor, error) {
 				e[j] = cs*e[j] - sn*s[j]
 				g = sn * s[j+1]
 				s[j+1] = cs * s[j+1]
-				for i := 0; i < n; i++ {
-					t = cs*v.At(i, j) + sn*v.At(i, j+1)
-					v.Set(i, j+1, -sn*v.At(i, j)+cs*v.At(i, j+1))
-					v.Set(i, j, t)
-				}
+				rotateCols(v, j, cs, sn)
 				t = math.Hypot(f, g)
 				cs = f / t
 				sn = g / t
@@ -323,11 +331,7 @@ func svdTall(arg *Matrix) (*SVDFactor, error) {
 				g = sn * e[j+1]
 				e[j+1] = cs * e[j+1]
 				if j < m-1 {
-					for i := 0; i < m; i++ {
-						t = cs*u.At(i, j) + sn*u.At(i, j+1)
-						u.Set(i, j+1, -sn*u.At(i, j)+cs*u.At(i, j+1))
-						u.Set(i, j, t)
-					}
+					rotateCols(u, j, cs, sn)
 				}
 			}
 			e[p-2] = f
@@ -371,6 +375,19 @@ func svdTall(arg *Matrix) (*SVDFactor, error) {
 		}
 	}
 	return &SVDFactor{U: u, S: s[:n], V: v}, nil
+}
+
+// rotateCols applies the Givens rotation (cs, sn) to columns (j, j+1) of a,
+// splitting rows across the worker pool; each row is independent, so the
+// result is exact at every worker count.
+func rotateCols(a *Matrix, j int, cs, sn float64) {
+	parallel.For(a.Rows, parallel.GrainFor(6, 1<<14), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := cs*a.At(i, j) + sn*a.At(i, j+1)
+			a.Set(i, j+1, -sn*a.At(i, j)+cs*a.At(i, j+1))
+			a.Set(i, j, t)
+		}
+	})
 }
 
 func min(a, b int) int {

@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// workerCounts is the sweep used across the equivalence suites.
+func workerCounts() []int {
+	return []int{1, 2, 7, runtime.NumCPU()}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range workerCounts() {
+		defer SetMaxProcs(SetMaxProcs(w))
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 4096} {
+				hits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Fatalf("bad range [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("w=%d n=%d grain=%d: index %d hit %d times", w, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialFallbackRunsOnCaller(t *testing.T) {
+	// With n <= grain the body must run inline exactly once, so writes need
+	// no synchronization at all.
+	calls := 0
+	For(10, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("serial fallback got [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial fallback ran %d times", calls)
+	}
+	defer SetMaxProcs(SetMaxProcs(1))
+	calls = 0
+	For(1000, 1, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("one-worker fallback chunked the range (%d calls)", calls)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, w := range workerCounts() {
+		defer SetMaxProcs(SetMaxProcs(w))
+		out := Map(500, 7, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("w=%d: out[%d]=%d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do()
+	Do(func() { a.Add(1) })
+	Do(func() { a.Add(1) }, func() { b.Add(1) }, func() { c.Add(1) })
+	if a.Load() != 2 || b.Load() != 1 || c.Load() != 1 {
+		t.Fatalf("Do counts: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	// Nested parallelism must degrade gracefully (inline execution when the
+	// pool is saturated), never deadlock.
+	var total atomic.Int64
+	For(64, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(64, 8, func(lo2, hi2 int) {
+				total.Add(int64(hi2 - lo2))
+			})
+		}
+	})
+	if total.Load() != 64*64 {
+		t.Fatalf("nested For covered %d indexes, want %d", total.Load(), 64*64)
+	}
+}
+
+func TestSetMaxProcs(t *testing.T) {
+	old := SetMaxProcs(3)
+	if MaxProcs() != 3 {
+		t.Fatalf("MaxProcs=%d after SetMaxProcs(3)", MaxProcs())
+	}
+	if prev := SetMaxProcs(0); prev != 3 {
+		t.Fatalf("SetMaxProcs returned %d, want 3", prev)
+	}
+	if MaxProcs() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("MaxProcs=%d, want GOMAXPROCS=%d", MaxProcs(), runtime.GOMAXPROCS(0))
+	}
+	if prev := SetMaxProcs(-5); prev != 0 {
+		t.Fatalf("negative SetMaxProcs returned %d, want 0", prev)
+	}
+	SetMaxProcs(old)
+}
+
+func TestGrainFor(t *testing.T) {
+	if g := GrainFor(100, 1000); g != 10 {
+		t.Fatalf("GrainFor(100,1000)=%d", g)
+	}
+	if g := GrainFor(0, 8); g != 8 {
+		t.Fatalf("GrainFor(0,8)=%d", g)
+	}
+	if g := GrainFor(1<<20, 10); g != 1 {
+		t.Fatalf("GrainFor huge perItem = %d, want 1", g)
+	}
+}
+
+// TestForStress hammers the pool from many concurrent callers; run under
+// -race this is the core data-race check for the pool itself.
+func TestForStress(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			sums := make([]int64, 256)
+			for rep := 0; rep < 50; rep++ {
+				For(len(sums), 16, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sums[i]++
+					}
+				})
+			}
+			for i, s := range sums {
+				if s != 50 {
+					t.Errorf("sums[%d]=%d, want 50", i, s)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
