@@ -22,8 +22,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kcca"
 	"repro/internal/kernels"
-	"repro/internal/linalg"
 	"repro/internal/knn"
+	"repro/internal/linalg"
 	"repro/internal/optimizer"
 	"repro/internal/parallel"
 	"repro/internal/sqlgen"

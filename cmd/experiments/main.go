@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 type experiment struct {
@@ -53,7 +54,22 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	out := flag.String("out", "", "also write the reports as markdown to this file")
+	timings := flag.Bool("timings", false, "print the per-stage timing table on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /timings, /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics (timings, expvar, pprof alongside)\n", addr)
+	}
+	if *timings {
+		obs.SetEnabled(true)
+		defer func() { fmt.Fprint(os.Stderr, "\n"+obs.TimingsTable()) }()
+	}
 
 	if *list {
 		for _, e := range registry {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
 	"repro/internal/statutil"
@@ -40,7 +41,23 @@ func main() {
 	verbose := flag.Bool("v", false, "print the query plan")
 	saveTo := flag.String("save", "", "after training, save the model to this file")
 	loadFrom := flag.String("load", "", "load a previously saved model instead of training")
+	timings := flag.Bool("timings", false, "print the per-stage timing table on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /timings, /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal("metrics server: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics (timings, expvar, pprof alongside)\n", addr)
+	}
+	if *timings {
+		obs.SetEnabled(true)
+		// fatal() exits directly, so error paths skip the table; that is
+		// fine — there is nothing useful to time on a failed run.
+		defer func() { fmt.Fprint(os.Stderr, "\n"+obs.TimingsTable()) }()
+	}
 
 	machine, err := parseMachine(*machineName)
 	if err != nil {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary (and mutated-valid) byte streams to Load. The
+// contract under test: Load either returns a working predictor or an
+// error — it must never panic, whatever the bytes, and a predictor it does
+// accept must survive prediction and a save round trip.
+func FuzzLoad(f *testing.F) {
+	train, _ := trainTest(f)
+	p, err := Train(train[:40], DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := p.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add(valid.Bytes()[:16])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	inputDims := p.Model().X.Cols
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything Load accepts must be usable.
+		if loaded.N() < 1 {
+			t.Fatal("loaded predictor has no training rows")
+		}
+		if loaded.Model().X.Cols == inputDims {
+			if _, err := loaded.PredictVector(make([]float64, inputDims)); err != nil {
+				t.Fatalf("accepted predictor cannot predict: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := loaded.Save(&buf); err != nil {
+			t.Fatalf("accepted predictor cannot re-save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEquivalenceWithObsEnabled re-runs the end-to-end batch equivalence
+// test with instrumentation on: latency histograms and span timers across
+// train/predict must not perturb bit-for-bit predictions.
+func TestEquivalenceWithObsEnabled(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	t.Run("PredictBatch", TestPredictBatchMatchesSerialLoop)
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/knn"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/statutil"
 	"repro/internal/workload"
@@ -106,6 +107,16 @@ type Predictor struct {
 	sub map[workload.Category]*Predictor
 }
 
+// Train/predict metrics: latency distributions for the public entry points
+// and a count of predictions served. Latency histograms only populate when
+// obs timing is enabled; counters always do.
+var (
+	trainSeconds   = obs.GetHistogram("core.train.seconds")
+	predictSeconds = obs.GetHistogram("core.predict.seconds")
+	batchSize      = obs.GetHistogram("core.predict_batch.size")
+	predictCount   = obs.GetCounter("core.predict.count")
+)
+
 // queryFeature extracts the configured feature vector for one query.
 func queryFeature(q *dataset.Query, kind FeatureKind) ([]float64, error) {
 	switch kind {
@@ -121,6 +132,8 @@ func queryFeature(q *dataset.Query, kind FeatureKind) ([]float64, error) {
 
 // Train fits a predictor on executed training queries.
 func Train(train []*dataset.Query, opt Options) (*Predictor, error) {
+	defer obs.Span("core.train")()
+	defer trainSeconds.Time()()
 	if len(train) < 5 {
 		return nil, fmt.Errorf("core: need at least 5 training queries, have %d", len(train))
 	}
@@ -263,6 +276,8 @@ func (p *Predictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
 // positionally identical to calling PredictQuery in a loop; the first error
 // encountered (by query order) is returned.
 func (p *Predictor) PredictBatch(qs []*dataset.Query) ([]*Prediction, error) {
+	defer obs.Span("core.predict_batch")()
+	batchSize.Observe(float64(len(qs)))
 	preds := make([]*Prediction, len(qs))
 	errs := make([]error, len(qs))
 	parallel.For(len(qs), 1, func(lo, hi int) {
@@ -280,6 +295,8 @@ func (p *Predictor) PredictBatch(qs []*dataset.Query) ([]*Prediction, error) {
 
 // PredictVector predicts from a raw query feature vector.
 func (p *Predictor) PredictVector(f []float64) (*Prediction, error) {
+	defer predictSeconds.Time()()
+	predictCount.Inc()
 	proj := p.model.ProjectQuery(f)
 	nbs, err := knn.Nearest(p.model.QueryProj, proj, p.opt.KNN.K, p.opt.KNN.Distance)
 	if err != nil {

@@ -16,7 +16,7 @@ import (
 // testPool is shared across tests (generation dominates test time).
 var testPool *dataset.Dataset
 
-func pool(t *testing.T) *dataset.Dataset {
+func pool(t testing.TB) *dataset.Dataset {
 	t.Helper()
 	if testPool == nil {
 		ds, err := dataset.Generate(dataset.GenConfig{
@@ -31,7 +31,7 @@ func pool(t *testing.T) *dataset.Dataset {
 	return testPool
 }
 
-func trainTest(t *testing.T) (train, test []*dataset.Query) {
+func trainTest(t testing.TB) (train, test []*dataset.Query) {
 	t.Helper()
 	ds := pool(t)
 	r := statutil.NewRNG(4, "coretest")

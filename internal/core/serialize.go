@@ -5,7 +5,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
+	"repro/internal/exec"
 	"repro/internal/kcca"
 	"repro/internal/linalg"
 	"repro/internal/workload"
@@ -78,8 +80,31 @@ func fromWire(wire *predictorWire) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	if wire.PerfRaw == nil || wire.PerfRaw.Rows != model.N() {
-		return nil, fmt.Errorf("core: decoded predictor is inconsistent")
+	// Validate everything PredictVector touches: the raw metric matrix must
+	// be structurally sound and row-aligned with the model, the category
+	// slice must cover every neighbor index the two-step vote can produce,
+	// and the confidence scales are divided by (so they must be positive
+	// and finite). A hand-edited or truncated file fails here with an
+	// error instead of panicking deep in linalg.
+	if err := wire.PerfRaw.CheckShape(); err != nil {
+		return nil, fmt.Errorf("core: decoded predictor: performance matrix: %w", err)
+	}
+	if wire.PerfRaw.Rows != model.N() {
+		return nil, fmt.Errorf("core: decoded predictor has %d metric rows for %d training queries",
+			wire.PerfRaw.Rows, model.N())
+	}
+	if wire.PerfRaw.Cols != exec.NumMetrics {
+		return nil, fmt.Errorf("core: decoded predictor has %d metric columns, want %d",
+			wire.PerfRaw.Cols, exec.NumMetrics)
+	}
+	if len(wire.Cats) != model.N() {
+		return nil, fmt.Errorf("core: decoded predictor has %d categories for %d training queries",
+			len(wire.Cats), model.N())
+	}
+	if !(wire.ConfScale > 0) || math.IsInf(wire.ConfScale, 0) ||
+		!(wire.KernelScale > 0) || math.IsInf(wire.KernelScale, 0) {
+		return nil, fmt.Errorf("core: decoded predictor confidence scales (%v, %v) must be positive and finite",
+			wire.ConfScale, wire.KernelScale)
 	}
 	p := &Predictor{
 		opt:         wire.Opt,

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math"
 	"strings"
 	"testing"
 )
@@ -73,5 +75,65 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(strings.NewReader("")); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+// TestLoadRejectsCorruptWire hand-corrupts each validated field of the wire
+// form and checks Load fails with an error instead of panicking later.
+func TestLoadRejectsCorruptWire(t *testing.T) {
+	train, _ := trainTest(t)
+	p, err := Train(train[:40], DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.toWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(w *predictorWire) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name    string
+		corrupt func(w *predictorWire)
+	}{
+		{"truncated metric data", func(w *predictorWire) {
+			m := *w.PerfRaw
+			m.Data = m.Data[:len(m.Data)-3]
+			w.PerfRaw = &m
+		}},
+		{"metric rows disagree with model", func(w *predictorWire) {
+			m := *w.PerfRaw
+			m.Rows--
+			m.Data = m.Data[:m.Rows*m.Cols]
+			w.PerfRaw = &m
+		}},
+		{"wrong metric column count", func(w *predictorWire) {
+			m := *w.PerfRaw
+			m.Cols = 2
+			m.Data = m.Data[:m.Rows*m.Cols]
+			w.PerfRaw = &m
+		}},
+		{"missing categories", func(w *predictorWire) { w.Cats = w.Cats[:3] }},
+		{"nonpositive confidence scale", func(w *predictorWire) { w.ConfScale = 0 }},
+		{"NaN kernel scale", func(w *predictorWire) { w.KernelScale = math.NaN() }},
+		{"truncated nested model bytes", func(w *predictorWire) { w.ModelBytes = w.ModelBytes[:len(w.ModelBytes)/2] }},
+		{"empty nested model bytes", func(w *predictorWire) { w.ModelBytes = nil }},
+	}
+	for _, tc := range cases {
+		w := *base
+		tc.corrupt(&w)
+		if _, err := Load(bytes.NewReader(encode(&w))); err == nil {
+			t.Errorf("%s: corrupted model loaded without error", tc.name)
+		}
+	}
+	// The uncorrupted wire must still load (the cases above fail for the
+	// right reason, not because of the re-encoding).
+	if _, err := Load(bytes.NewReader(encode(base))); err != nil {
+		t.Fatalf("pristine re-encoded model rejected: %v", err)
 	}
 }

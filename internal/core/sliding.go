@@ -5,6 +5,16 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// Sliding-window metrics (visible in obs snapshots next to the predict
+// latency histograms, so retrain cadence and window churn can be watched
+// in production).
+var (
+	slidingObserved = obs.GetCounter("core.sliding.observed")
+	slidingEvicted  = obs.GetCounter("core.sliding.evicted")
+	slidingRetrains = obs.GetCounter("core.sliding.retrains")
 )
 
 // SlidingPredictor maintains a bounded window of the most recently
@@ -21,7 +31,14 @@ type SlidingPredictor struct {
 	// retrainings.
 	retrainEvery int
 
-	window     []*dataset.Query
+	// The window is a ring buffer: once full, each observation overwrites
+	// the oldest entry in place. (It used to be a slice evicted with
+	// copy(window, window[1:]) — O(capacity) per observation, quadratic
+	// over a run.) buf[head] is the oldest retained query; the newest is
+	// size-1 positions after it, modulo capacity.
+	buf        []*dataset.Query
+	head, size int
+
 	sinceTrain int
 	current    *Predictor
 	// retrains counts completed trainings (visible for tests/metrics).
@@ -42,20 +59,30 @@ func NewSliding(capacity, retrainEvery int, opt Options) (*SlidingPredictor, err
 	if retrainEvery > capacity {
 		return nil, fmt.Errorf("core: retrain interval %d exceeds capacity %d", retrainEvery, capacity)
 	}
-	return &SlidingPredictor{opt: opt, capacity: capacity, retrainEvery: retrainEvery}, nil
+	return &SlidingPredictor{
+		opt:          opt,
+		capacity:     capacity,
+		retrainEvery: retrainEvery,
+		buf:          make([]*dataset.Query, capacity),
+	}, nil
 }
 
 // Observe records one executed query (with measured metrics) into the
 // window, evicting the oldest entry when full, and retrains when due.
+// Eviction is O(1).
 func (s *SlidingPredictor) Observe(q *dataset.Query) error {
-	if len(s.window) == s.capacity {
-		copy(s.window, s.window[1:])
-		s.window[len(s.window)-1] = q
+	slidingObserved.Inc()
+	if s.size == s.capacity {
+		// Overwrite the oldest entry; the next-oldest becomes the head.
+		s.buf[s.head] = q
+		s.head = (s.head + 1) % s.capacity
+		slidingEvicted.Inc()
 	} else {
-		s.window = append(s.window, q)
+		s.buf[(s.head+s.size)%s.capacity] = q
+		s.size++
 	}
 	s.sinceTrain++
-	if s.sinceTrain >= s.retrainEvery && len(s.window) >= 5 {
+	if s.sinceTrain >= s.retrainEvery && s.size >= 5 {
 		return s.Retrain()
 	}
 	return nil
@@ -63,16 +90,17 @@ func (s *SlidingPredictor) Observe(q *dataset.Query) error {
 
 // Retrain rebuilds the predictor from the current window immediately.
 func (s *SlidingPredictor) Retrain() error {
-	if len(s.window) < 5 {
+	if s.size < 5 {
 		return errors.New("core: too few observed queries to train")
 	}
-	p, err := Train(s.window, s.opt)
+	p, err := Train(s.Window(), s.opt)
 	if err != nil {
 		return err
 	}
 	s.current = p
 	s.sinceTrain = 0
 	s.retrains++
+	slidingRetrains.Inc()
 	return nil
 }
 
@@ -87,8 +115,18 @@ func (s *SlidingPredictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
 	return s.current.PredictQuery(q)
 }
 
+// Window returns the retained queries in observation order, oldest first —
+// the exact training order Retrain uses.
+func (s *SlidingPredictor) Window() []*dataset.Query {
+	out := make([]*dataset.Query, s.size)
+	for i := 0; i < s.size; i++ {
+		out[i] = s.buf[(s.head+i)%s.capacity]
+	}
+	return out
+}
+
 // WindowSize returns the number of queries currently held.
-func (s *SlidingPredictor) WindowSize() int { return len(s.window) }
+func (s *SlidingPredictor) WindowSize() int { return s.size }
 
 // Retrains returns how many trainings have completed.
 func (s *SlidingPredictor) Retrains() int { return s.retrains }

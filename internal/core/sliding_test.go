@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/workload"
 )
 
@@ -73,12 +74,61 @@ func TestSlidingWindowEvicts(t *testing.T) {
 	if s.Retrains() != 6 {
 		t.Errorf("retrains = %d, want 6", s.Retrains())
 	}
-	// The window holds the 60 MOST RECENT queries.
-	if s.window[len(s.window)-1].ID != ds.Queries[199].ID {
+	// The window holds the 60 MOST RECENT queries, oldest first.
+	w := s.Window()
+	if w[len(w)-1].ID != ds.Queries[199].ID {
 		t.Error("window tail is not the latest query")
 	}
-	if s.window[0].ID != ds.Queries[140].ID {
-		t.Errorf("window head = %d, want 140", s.window[0].ID)
+	if w[0].ID != ds.Queries[140].ID {
+		t.Errorf("window head = %d, want 140", w[0].ID)
+	}
+}
+
+// TestSlidingRingMatchesNaive is the regression test for the ring-buffer
+// eviction rewrite: window contents/order and retrain cadence must match
+// the original copy-down implementation exactly at every step.
+func TestSlidingRingMatchesNaive(t *testing.T) {
+	ds := pool(t)
+	const capacity, retrainEvery = 12, 12
+	s, err := NewSliding(capacity, retrainEvery, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive reference: the pre-ring semantics.
+	var ref []*dataset.Query
+	refSince, refRetrains := 0, 0
+	for step, q := range ds.Queries[:150] {
+		if err := s.Observe(q); err != nil {
+			t.Fatalf("observe %d: %v", step, err)
+		}
+		if len(ref) == capacity {
+			copy(ref, ref[1:])
+			ref[len(ref)-1] = q
+		} else {
+			ref = append(ref, q)
+		}
+		refSince++
+		if refSince >= retrainEvery && len(ref) >= 5 {
+			refSince = 0
+			refRetrains++
+		}
+		w := s.Window()
+		if len(w) != len(ref) {
+			t.Fatalf("step %d: window size %d, reference %d", step, len(w), len(ref))
+		}
+		for i := range ref {
+			if w[i] != ref[i] {
+				t.Fatalf("step %d: window[%d] = query %d, reference query %d", step, i, w[i].ID, ref[i].ID)
+			}
+		}
+		if s.Retrains() != refRetrains {
+			t.Fatalf("step %d: retrains %d, reference %d", step, s.Retrains(), refRetrains)
+		}
+	}
+	// The trained model must see the window oldest→newest; its size is the
+	// window size at the last retrain.
+	if !s.Ready() || s.current.N() != capacity {
+		t.Fatalf("model N = %d, want %d", s.current.N(), capacity)
 	}
 }
 

@@ -5,7 +5,17 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Simulator metrics: simulated-queries/sec is simQueries divided by the
+// "exec.simulate" stage total in a snapshot.
+var (
+	simRuns        = obs.GetCounter("exec.simulate.runs")
+	simQueries     = obs.GetCounter("exec.simulate.queries")
+	simBatchSize   = obs.GetHistogram("exec.simulate.batch_queries")
+	simMakespanSec = obs.GetHistogram("exec.simulate.makespan_sec")
 )
 
 // The paper predicts single-query-mode performance and uses the
@@ -46,6 +56,7 @@ type Scenario struct {
 // own outcome, so results are identical to a serial loop). Workload
 // managers use it to sweep candidate multiprogramming levels in one call.
 func SimulateScenarios(arrivalSec, soloSec []float64, scenarios []Scenario) ([]ConcurrentOutcome, error) {
+	defer obs.Span("exec.simulate_scenarios")()
 	outs := make([]ConcurrentOutcome, len(scenarios))
 	errs := make([]error, len(scenarios))
 	parallel.For(len(scenarios), 1, func(lo, hi int) {
@@ -64,10 +75,14 @@ func SimulateScenarios(arrivalSec, soloSec []float64, scenarios []Scenario) ([]C
 // SimulateConcurrent runs the processor-sharing simulation. arrivalSec and
 // soloSec must have equal length; soloSec entries must be positive.
 func SimulateConcurrent(arrivalSec, soloSec []float64, maxConcurrent int, interference float64) (ConcurrentOutcome, error) {
+	defer obs.Span("exec.simulate")()
 	n := len(arrivalSec)
 	if n == 0 {
 		return ConcurrentOutcome{}, errors.New("exec: no queries")
 	}
+	simRuns.Inc()
+	simQueries.Add(int64(n))
+	simBatchSize.Observe(float64(n))
 	if len(soloSec) != n {
 		return ConcurrentOutcome{}, errors.New("exec: arrival and solo lengths differ")
 	}
@@ -183,5 +198,6 @@ func SimulateConcurrent(arrivalSec, soloSec []float64, maxConcurrent int, interf
 			}
 		}
 	}
+	simMakespanSec.Observe(out.Makespan)
 	return out, nil
 }

@@ -3,9 +3,27 @@ package exec
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/statutil"
 )
+
+// Per-operator simulated cost totals ("exec.op.<operator>.seconds") and
+// node counts. Accounting is gated on obs.Enabled() so the bulk workload
+// generation path pays nothing by default.
+var (
+	opCostSec   [optimizer.NumOpTypes]*obs.FloatTotal
+	opNodeCount [optimizer.NumOpTypes]*obs.Counter
+	execQueries = obs.GetCounter("exec.executed_queries")
+)
+
+func init() {
+	for i := range opCostSec {
+		name := optimizer.OpType(i).String()
+		opCostSec[i] = obs.GetFloatTotal("exec.op." + name + ".seconds")
+		opNodeCount[i] = obs.GetCounter("exec.op." + name + ".nodes")
+	}
+}
 
 // Execute simulates running the plan on the machine and returns the
 // measured performance metrics. The noise stream models run-to-run
@@ -19,6 +37,9 @@ func Execute(p *optimizer.Plan, m Machine, noise *statutil.RNG) Metrics {
 		procs = 1
 	}
 	pageBytes := float64(c.PageSizeKB) * 1024
+
+	execQueries.Inc()
+	obsOn := obs.Enabled()
 
 	var met Metrics
 	cacheLeft := m.BufferPoolBytes()
@@ -127,7 +148,12 @@ func Execute(p *optimizer.Plan, m Machine, noise *statutil.RNG) Metrics {
 		}
 		// Within one operator CPU, I/O, and network overlap; operators
 		// themselves run largely in sequence along the pipeline.
-		elapsed += math.Max(cpu, math.Max(io, net))
+		cost := math.Max(cpu, math.Max(io, net))
+		elapsed += cost
+		if obsOn && int(n.Op) >= 0 && int(n.Op) < optimizer.NumOpTypes {
+			opCostSec[n.Op].Add(cost)
+			opNodeCount[n.Op].Inc()
+		}
 	})
 
 	if noise != nil {

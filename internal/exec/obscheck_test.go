@@ -1,0 +1,25 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSimMetricsRecorded(t *testing.T) {
+	before := obs.GetCounter("exec.simulate.queries").Value()
+	if _, err := SimulateConcurrent([]float64{0, 1}, []float64{2, 2}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.GetCounter("exec.simulate.queries").Value()
+	if after-before != 2 {
+		t.Fatalf("sim queries delta = %d", after-before)
+	}
+	if obs.GetHistogram("exec.simulate.makespan_sec").Count() == 0 {
+		t.Fatal("makespan not observed")
+	}
+	s := obs.Take()
+	if _, ok := s.Counters["exec.simulate.queries"]; !ok {
+		t.Fatal("snapshot missing simulator counter")
+	}
+}

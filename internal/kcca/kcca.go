@@ -16,6 +16,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/kernels"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -75,6 +76,7 @@ type Model struct {
 // Train fits KCCA on the query features x and performance features y (one
 // row per training query in both, same order).
 func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
+	defer obs.Span("kcca.train")()
 	if x.Rows != y.Rows {
 		return nil, errors.New("kcca: feature matrices must have equal row counts")
 	}
@@ -108,10 +110,12 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 	var kxC, kyC *linalg.Matrix
 	var rowMeansX []float64
 	var grandX float64
+	stopKernel := obs.Span("kcca.train.kernel")
 	parallel.Do(
 		func() { kxC, rowMeansX, grandX = kernels.Center(kernels.Matrix(x, tauX)) },
 		func() { kyC, _, _ = kernels.Center(kernels.Matrix(y, tauY)) },
 	)
+	stopKernel()
 
 	rank := opt.Rank
 	if rank <= 0 {
@@ -130,10 +134,12 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 	var phiX, phiY, ux *linalg.Matrix
 	var lamx []float64
 	var errX, errY error
+	stopEigen := obs.Span("kcca.train.eigen")
 	parallel.Do(
 		func() { phiX, ux, lamx, errX = kernelPCA(kxC, rank) },
 		func() { phiY, _, _, errY = kernelPCA(kyC, rank) },
 	)
+	stopEigen()
 	if errX != nil {
 		return nil, errX
 	}
@@ -148,17 +154,23 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 			dims = phiY.Cols
 		}
 	}
+	stopCCA := obs.Span("kcca.train.cca")
 	cm, err := cca.Fit(phiX, phiY, dims, opt.Reg)
+	stopCCA()
 	if err != nil {
 		return nil, err
 	}
 
+	stopProj := obs.Span("kcca.train.project")
+	queryProj := cm.ProjectAllX(phiX)
+	perfProj := cm.ProjectAllY(phiY)
+	stopProj()
 	return &Model{
 		X:            x.Clone(),
 		TauX:         tauX,
 		TauY:         tauY,
-		QueryProj:    cm.ProjectAllX(phiX),
-		PerfProj:     cm.ProjectAllY(phiY),
+		QueryProj:    queryProj,
+		PerfProj:     perfProj,
 		Correlations: cm.Correlations,
 		rowMeansX:    rowMeansX,
 		grandX:       grandX,
@@ -200,6 +212,7 @@ func kernelPCA(k *linalg.Matrix, r int) (phi, u *linalg.Matrix, lam []float64, e
 // ProjectQuery maps a new query feature vector into the query projection
 // (the coordinates used for nearest-neighbor lookup in Fig. 7).
 func (m *Model) ProjectQuery(q []float64) []float64 {
+	defer obs.Span("kcca.project_query")()
 	kq := kernels.CrossVector(m.X, q, m.TauX)
 	kqC := kernels.CenterCross(kq, m.rowMeansX, m.grandX)
 	// φq = Λ^{−1/2} Uᵀ kq.

@@ -2,6 +2,7 @@ package kcca
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"math/rand"
 	"strings"
@@ -237,5 +238,59 @@ func TestSaveLoadModel(t *testing.T) {
 	}
 	if _, err := Load(strings.NewReader("junk")); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// TestLoadRejectsCorruptModel tampers with each validated invariant of the
+// wire form and checks Load returns an error rather than building a model
+// that panics on first use.
+func TestLoadRejectsCorruptModel(t *testing.T) {
+	x, y := nonlinearViews(9, 40)
+	m, err := Train(x, y, unitOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decode := func() *modelWire {
+		var w modelWire
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&w); err != nil {
+			t.Fatal(err)
+		}
+		return &w
+	}
+	cases := []struct {
+		name    string
+		corrupt func(w *modelWire)
+	}{
+		{"truncated X data", func(w *modelWire) { w.X.Data = w.X.Data[:len(w.X.Data)-1] }},
+		{"negative dims", func(w *modelWire) { w.QueryProj.Rows = -1 }},
+		{"projection rows disagree", func(w *modelWire) {
+			w.PerfProj.Rows--
+			w.PerfProj.Data = w.PerfProj.Data[:w.PerfProj.Rows*w.PerfProj.Cols]
+		}},
+		{"short row means", func(w *modelWire) { w.RowMeansX = w.RowMeansX[:len(w.RowMeansX)-2] }},
+		{"truncated eigenvalues", func(w *modelWire) { w.Lamx = w.Lamx[:len(w.Lamx)-1] }},
+		{"zero eigenvalue", func(w *modelWire) { w.Lamx[0] = 0 }},
+		{"NaN kernel scale", func(w *modelWire) { w.TauX = math.NaN() }},
+		{"missing CCA weights", func(w *modelWire) { w.CCA = nil }},
+		{"CCA input dim mismatch", func(w *modelWire) { w.CCA.MeanX = w.CCA.MeanX[:1] }},
+		{"projection dim mismatch", func(w *modelWire) {
+			w.QueryProj.Cols--
+			w.QueryProj.Data = w.QueryProj.Data[:w.QueryProj.Rows*w.QueryProj.Cols]
+		}},
+	}
+	for _, tc := range cases {
+		w := decode()
+		tc.corrupt(w)
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(w); err != nil {
+			t.Fatalf("%s: re-encode: %v", tc.name, err)
+		}
+		if _, err := Load(&out); err == nil {
+			t.Errorf("%s: corrupted model loaded without error", tc.name)
+		}
 	}
 }

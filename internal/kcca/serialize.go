@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/cca"
 	"repro/internal/linalg"
@@ -41,14 +42,17 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// Load deserializes a model written by Save.
+// Load deserializes a model written by Save. The wire form is validated
+// for full shape consistency before a Model is built: a truncated or
+// hand-edited file must fail here with an error, not panic later deep in
+// the linalg kernels when the model is first used.
 func Load(r io.Reader) (*Model, error) {
 	var wire modelWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("kcca: decoding model: %w", err)
 	}
-	if wire.X == nil || wire.QueryProj == nil || wire.Ux == nil || wire.CCA == nil {
-		return nil, fmt.Errorf("kcca: decoded model is incomplete")
+	if err := wire.validate(); err != nil {
+		return nil, err
 	}
 	return &Model{
 		X: wire.X, TauX: wire.TauX, TauY: wire.TauY,
@@ -57,4 +61,60 @@ func Load(r io.Reader) (*Model, error) {
 		rowMeansX:    wire.RowMeansX, grandX: wire.GrandX,
 		ux: wire.Ux, lamx: wire.Lamx, ccaModel: wire.CCA,
 	}, nil
+}
+
+// validate checks every invariant ProjectQuery and the kNN pipeline rely
+// on: structural matrix shapes, cross-matrix row/column agreement, and the
+// positivity of the kernel scale and kernel-PCA eigenvalues (both are
+// divided by or passed to panicking kernels).
+func (w *modelWire) validate() error {
+	for _, m := range []struct {
+		name string
+		mat  *linalg.Matrix
+	}{
+		{"X", w.X}, {"QueryProj", w.QueryProj}, {"PerfProj", w.PerfProj}, {"Ux", w.Ux},
+	} {
+		if err := m.mat.CheckShape(); err != nil {
+			return fmt.Errorf("kcca: decoded model: %s: %w", m.name, err)
+		}
+	}
+	n := w.X.Rows
+	if n < 1 {
+		return fmt.Errorf("kcca: decoded model has no training rows")
+	}
+	if w.QueryProj.Rows != n || w.PerfProj.Rows != n || w.Ux.Rows != n {
+		return fmt.Errorf("kcca: decoded model row counts disagree: X=%d QueryProj=%d PerfProj=%d Ux=%d",
+			n, w.QueryProj.Rows, w.PerfProj.Rows, w.Ux.Rows)
+	}
+	if len(w.RowMeansX) != n {
+		return fmt.Errorf("kcca: decoded model has %d row means, want %d", len(w.RowMeansX), n)
+	}
+	if len(w.Lamx) != w.Ux.Cols {
+		return fmt.Errorf("kcca: decoded model has %d eigenvalues for %d kernel-PCA components", len(w.Lamx), w.Ux.Cols)
+	}
+	for i, l := range w.Lamx {
+		if !(l > 0) || math.IsInf(l, 0) {
+			return fmt.Errorf("kcca: decoded model eigenvalue %d is %v, want positive and finite", i, l)
+		}
+	}
+	if !(w.TauX > 0) || math.IsInf(w.TauX, 0) || !(w.TauY > 0) || math.IsInf(w.TauY, 0) {
+		return fmt.Errorf("kcca: decoded model kernel scales (%v, %v) must be positive and finite", w.TauX, w.TauY)
+	}
+	if w.CCA == nil {
+		return fmt.Errorf("kcca: decoded model has no CCA weights")
+	}
+	if err := w.CCA.WX.CheckShape(); err != nil {
+		return fmt.Errorf("kcca: decoded model: CCA.WX: %w", err)
+	}
+	if err := w.CCA.WY.CheckShape(); err != nil {
+		return fmt.Errorf("kcca: decoded model: CCA.WY: %w", err)
+	}
+	if len(w.CCA.MeanX) != w.Ux.Cols || w.CCA.WX.Rows != w.Ux.Cols {
+		return fmt.Errorf("kcca: decoded model CCA input dims (mean %d, WX rows %d) do not match %d kernel-PCA components",
+			len(w.CCA.MeanX), w.CCA.WX.Rows, w.Ux.Cols)
+	}
+	if w.QueryProj.Cols != w.CCA.WX.Cols {
+		return fmt.Errorf("kcca: decoded model projection has %d dims but CCA produces %d", w.QueryProj.Cols, w.CCA.WX.Cols)
+	}
+	return nil
 }

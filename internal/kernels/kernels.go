@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -51,6 +52,7 @@ func ScaleHeuristic(rows *linalg.Matrix, frac float64) float64 {
 // (j, i)), so the result is identical to the serial loop at every worker
 // count.
 func Matrix(x *linalg.Matrix, tau float64) *linalg.Matrix {
+	defer obs.Span("kernels.matrix")()
 	n := x.Rows
 	k := linalg.NewMatrix(n, n)
 	parallel.For(n, parallel.GrainFor(n*x.Cols/2+1, 1<<15), func(lo, hi int) {
@@ -70,6 +72,7 @@ func Matrix(x *linalg.Matrix, tau float64) *linalg.Matrix {
 // CrossVector computes the kernel evaluations k(q, xᵢ) of one query point
 // against every row of x.
 func CrossVector(x *linalg.Matrix, q []float64, tau float64) []float64 {
+	defer obs.Span("kernels.cross_vector")()
 	if len(q) != x.Cols {
 		panic(fmt.Sprintf("kernels: query has %d features, want %d", len(q), x.Cols))
 	}
@@ -87,6 +90,7 @@ func CrossVector(x *linalg.Matrix, q []float64, tau float64) []float64 {
 // the row means and grand mean needed to center out-of-sample kernel
 // vectors consistently.
 func Center(k *linalg.Matrix) (centered *linalg.Matrix, rowMeans []float64, grandMean float64) {
+	defer obs.Span("kernels.center")()
 	n := k.Rows
 	rowMeans = make([]float64, n)
 	grain := parallel.GrainFor(n, 1<<15)

@@ -1,0 +1,17 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEquivalenceWithObsEnabled re-runs the serial/parallel equivalence
+// suite with instrumentation on: span timers and histogram observations in
+// the hot paths must not perturb bit-for-bit results.
+func TestEquivalenceWithObsEnabled(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	t.Run("Matrix", TestMatrixParallelMatchesSerial)
+	t.Run("CrossVector", TestCrossVectorParallelMatchesSerial)
+	t.Run("Center", TestCenterParallelMatchesSerial)
+}

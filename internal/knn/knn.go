@@ -12,7 +12,15 @@ import (
 	"sort"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Search metrics: every Nearest/Search call counts its queries and observes
+// how many candidate points each query was ranked against.
+var (
+	searchQueries    = obs.GetCounter("knn.search.queries")
+	searchCandidates = obs.GetHistogram("knn.search.candidates")
 )
 
 // Distance selects the neighbor distance metric.
@@ -38,7 +46,8 @@ type Weighting int
 const (
 	// EqualWeight averages all neighbors equally — the paper's choice.
 	EqualWeight Weighting = iota
-	// RankWeight weights neighbors 3:2:1 (and so on) by nearness rank.
+	// RankWeight weights neighbors by nearness rank, k:(k-1):…:1 for any k
+	// (3:2:1 at the paper's k = 3), normalized to sum to 1 by Combine.
 	RankWeight
 	// DistanceWeight weights neighbors by inverse distance.
 	DistanceWeight
@@ -81,6 +90,7 @@ func DefaultOptions() Options {
 // computation was partitioned, or parallel runs could silently reorder
 // predictions under weighted combination.
 func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neighbor, error) {
+	defer obs.Span("knn.search")()
 	n := points.Rows
 	if n == 0 {
 		return nil, errors.New("knn: no points")
@@ -91,6 +101,8 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 	if k > n {
 		k = n
 	}
+	searchQueries.Inc()
+	searchCandidates.Observe(float64(n))
 	all := make([]Neighbor, n)
 	// Distance computation fans out across the worker pool; each index is
 	// written by exactly one worker, so the slice contents match the serial
@@ -133,6 +145,7 @@ func less(a, b Neighbor) bool {
 // oversubscribing it); results are positionally identical to calling
 // Nearest in a loop.
 func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbor, error) {
+	defer obs.Span("knn.search")()
 	if queries.Cols != points.Cols {
 		return nil, errors.New("knn: query and point dimensions differ")
 	}
@@ -146,9 +159,11 @@ func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbo
 	if k > n {
 		k = n
 	}
+	searchQueries.Add(int64(queries.Rows))
 	out := make([][]Neighbor, queries.Rows)
 	parallel.For(queries.Rows, 1, func(lo, hi int) {
 		for qi := lo; qi < hi; qi++ {
+			searchCandidates.Observe(float64(n))
 			q := queries.Row(qi)
 			all := make([]Neighbor, n)
 			for i := 0; i < n; i++ {

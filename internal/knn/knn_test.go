@@ -152,3 +152,70 @@ func TestMetricAndWeightingStrings(t *testing.T) {
 		t.Error("weighting names wrong")
 	}
 }
+
+// TestCombineRankWeightGeneralizes pins down that RankWeight's "3:2:1 (and
+// so on)" weight vector generalizes beyond the paper's k = 3: for any k the
+// weights are k:(k-1):…:1 by nearness rank and normalize to sum to 1.
+func TestCombineRankWeightGeneralizes(t *testing.T) {
+	values := linalg.FromRows([][]float64{
+		{1, 10},
+		{2, 20},
+		{3, 30},
+		{4, 40},
+		{5, 50},
+	})
+	for _, k := range []int{1, 2, 3, 5} {
+		neighbors := make([]Neighbor, k)
+		for i := range neighbors {
+			neighbors[i] = Neighbor{Index: i, Distance: float64(i)}
+		}
+		got := Combine(values, neighbors, RankWeight)
+
+		// Reference: explicit k:(k-1):…:1 weighted mean.
+		var total float64
+		want := make([]float64, values.Cols)
+		for rank := 0; rank < k; rank++ {
+			wt := float64(k - rank)
+			total += wt
+			for j := 0; j < values.Cols; j++ {
+				want[j] += wt * values.At(rank, j)
+			}
+		}
+		for j := range want {
+			want[j] /= total
+		}
+		for j := range want {
+			if diff := got[j] - want[j]; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("k=%d: out[%d] = %v, want %v", k, j, got[j], want[j])
+			}
+		}
+		// total must equal k(k+1)/2 — the full k:(k-1):…:1 vector, not a
+		// hard-coded three ranks.
+		if total != float64(k*(k+1))/2 {
+			t.Fatalf("k=%d: reference weight total %v, want %v", k, total, float64(k*(k+1))/2)
+		}
+	}
+}
+
+// TestCombineRankWeightNormalizes: with identical neighbor rows any
+// normalized weighting must return the row itself, for every k.
+func TestCombineRankWeightNormalizes(t *testing.T) {
+	row := []float64{7, -3, 0.5}
+	rows := make([][]float64, 5)
+	for i := range rows {
+		rows[i] = row
+	}
+	values := linalg.FromRows(rows)
+	for _, k := range []int{1, 2, 3, 5} {
+		neighbors := make([]Neighbor, k)
+		for i := range neighbors {
+			neighbors[i] = Neighbor{Index: i, Distance: float64(i) * 0.1}
+		}
+		got := Combine(values, neighbors, RankWeight)
+		for j := range row {
+			if diff := got[j] - row[j]; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("k=%d: out[%d] = %v, want %v (weights must sum to 1)", k, j, got[j], row[j])
+			}
+		}
+	}
+}

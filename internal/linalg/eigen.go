@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -21,6 +22,7 @@ type EigenSym struct {
 // algorithm (the classic tred2/tql2 pair). Only the lower triangle of a is
 // read. The result is sorted by descending eigenvalue.
 func SymEig(a *Matrix) (*EigenSym, error) {
+	defer obs.Span("linalg.eigen")()
 	if a.Rows != a.Cols {
 		return nil, errors.New("linalg: SymEig requires a square matrix")
 	}

@@ -37,6 +37,24 @@ func NewMatrixFrom(r, c int, data []float64) *Matrix {
 	return &Matrix{Rows: r, Cols: c, Data: data}
 }
 
+// CheckShape verifies the structural invariant len(Data) == Rows*Cols with
+// nonnegative dimensions. Matrices built by this package always satisfy it;
+// matrices decoded from external bytes (gob model files) may not, and using
+// a malformed one panics deep in the kernels — deserializers call this
+// first to fail with an error instead.
+func (m *Matrix) CheckShape() error {
+	if m == nil {
+		return fmt.Errorf("linalg: nil matrix")
+	}
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("linalg: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.Data) != m.Rows*m.Cols {
+		return fmt.Errorf("linalg: data length %d does not match %dx%d", len(m.Data), m.Rows, m.Cols)
+	}
+	return nil
+}
+
 // FromRows builds a matrix from a slice of equal-length rows, copying them.
 func FromRows(rows [][]float64) *Matrix {
 	if len(rows) == 0 {

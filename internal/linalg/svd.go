@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -20,6 +21,7 @@ type SVDFactor struct {
 // with more columns than rows the decomposition is computed on the
 // transpose and the factors swapped.
 func SVD(a *Matrix) (*SVDFactor, error) {
+	defer obs.Span("linalg.svd")()
 	if a.Rows >= a.Cols {
 		return svdTall(a)
 	}

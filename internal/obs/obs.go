@@ -1,0 +1,156 @@
+// Package obs is the repository's stdlib-only observability layer:
+// counters, gauges, float totals, fixed-log-bucket histograms, and span
+// timers that aggregate into a per-stage timing tree. The numeric packages
+// (parallel, kernels, linalg, kcca, knn, core, exec) record into it from
+// their hot paths, and the commands expose the collected state as a JSON
+// snapshot (Take/JSON), a human-readable stage table (TimingsTable), and an
+// optional HTTP endpoint with expvar and pprof (ServeMetrics).
+//
+// Cost contract: every instrument is a fixed atomic update — no locks and
+// no allocation on the record path — so instrumentation can stay compiled
+// into the hot loops. Instruments that must read the clock (Span,
+// Histogram.Time) additionally consult the package enable flag and return a
+// shared no-op when disabled, so a non-observed run performs no timing work
+// at all. Recording never feeds back into the instrumented computation, so
+// the bit-for-bit serial/parallel equivalence guarantees of the numeric
+// packages hold with instrumentation on or off.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates the clock-reading instruments (spans and histogram
+// timers). Counters, gauges, histograms and float totals always record;
+// they are single atomic operations.
+var enabled atomic.Bool
+
+// SetEnabled turns timing instrumentation on or off and returns the
+// previous state, so callers can restore it:
+//
+//	defer obs.SetEnabled(obs.SetEnabled(true))
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether timing instrumentation is on.
+func Enabled() bool { return enabled.Load() }
+
+// noop is the shared do-nothing stop function returned by disabled timers;
+// returning it allocates nothing.
+var noop = func() {}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous integer value (pool width, queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// FloatTotal is a float64 accumulator (e.g. seconds of simulated operator
+// cost), updated with a compare-and-swap loop on the bit pattern.
+type FloatTotal struct{ bits atomic.Uint64 }
+
+// Add accumulates v.
+func (f *FloatTotal) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (f *FloatTotal) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *FloatTotal) reset() { f.bits.Store(0) }
+
+// The default registry. Instruments are created on first Get and live for
+// the life of the process, so packages can capture them in package-level
+// variables and pay only the atomic update per event.
+var (
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+	totals   sync.Map // string -> *FloatTotal
+	hists    sync.Map // string -> *Histogram
+	stages   sync.Map // string -> *Stage
+)
+
+// GetCounter returns the named counter, creating it if needed.
+func GetCounter(name string) *Counter {
+	if v, ok := counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// GetGauge returns the named gauge, creating it if needed.
+func GetGauge(name string) *Gauge {
+	if v, ok := gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// GetFloatTotal returns the named float total, creating it if needed.
+func GetFloatTotal(name string) *FloatTotal {
+	if v, ok := totals.Load(name); ok {
+		return v.(*FloatTotal)
+	}
+	v, _ := totals.LoadOrStore(name, &FloatTotal{})
+	return v.(*FloatTotal)
+}
+
+// GetHistogram returns the named histogram, creating it if needed.
+func GetHistogram(name string) *Histogram {
+	if v, ok := hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := hists.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// GetStage returns the named span-timer stage, creating it if needed.
+func GetStage(name string) *Stage {
+	if v, ok := stages.Load(name); ok {
+		return v.(*Stage)
+	}
+	v, _ := stages.LoadOrStore(name, &Stage{})
+	return v.(*Stage)
+}
+
+// Reset zeroes every registered instrument in place. Instrument identity is
+// preserved (package-level variables that captured an instrument keep
+// recording into it), which is what test isolation needs.
+func Reset() {
+	counters.Range(func(_, v any) bool { v.(*Counter).reset(); return true })
+	gauges.Range(func(_, v any) bool { v.(*Gauge).reset(); return true })
+	totals.Range(func(_, v any) bool { v.(*FloatTotal).reset(); return true })
+	hists.Range(func(_, v any) bool { v.(*Histogram).reset(); return true })
+	stages.Range(func(_, v any) bool { v.(*Stage).reset(); return true })
+}

@@ -1,0 +1,74 @@
+// Race coverage for concurrent instrument updates. This file is in package
+// obs_test so it can drive updates through the real shared worker pool
+// (internal/parallel imports obs, so the inverse import must live outside
+// the obs package proper).
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// TestConcurrentUpdatesFromPoolWorkers hammers every instrument kind from
+// pool workers while snapshots are taken concurrently. Run under -race (the
+// CI race job does) this proves the atomic instrument implementations and
+// the lock-free snapshot path are data-race free.
+func TestConcurrentUpdatesFromPoolWorkers(t *testing.T) {
+	obs.Reset()
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	c := obs.GetCounter("race.counter")
+	g := obs.GetGauge("race.gauge")
+	ft := obs.GetFloatTotal("race.total")
+	h := obs.GetHistogram("race.hist")
+
+	var wg sync.WaitGroup
+	stopSnaps := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopSnaps:
+				return
+			default:
+				_ = obs.Take()
+				_ = obs.JSON()
+				_ = obs.TimingsTable()
+			}
+		}
+	}()
+
+	const n, rounds = 512, 8
+	for r := 0; r < rounds; r++ {
+		parallel.For(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				ft.Add(0.001)
+				h.Observe(float64(i+1) * 1e-6)
+				obs.Span("race.stage")()
+			}
+		})
+	}
+	close(stopSnaps)
+	wg.Wait()
+
+	const want = n * rounds
+	if c.Value() != want {
+		t.Errorf("counter = %d, want %d", c.Value(), want)
+	}
+	if h.Count() != want {
+		t.Errorf("histogram count = %d, want %d", h.Count(), want)
+	}
+	if st := obs.GetStage("race.stage"); st.Count() != want {
+		t.Errorf("stage count = %d, want %d", st.Count(), want)
+	}
+	if ft.Value() <= 0 {
+		t.Errorf("float total = %v", ft.Value())
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage aggregates the span timer for one named pipeline stage: how often
+// it ran, the total and maximum wall time. Stage names are dotted paths
+// ("kcca.train.eigen"); the dots define the timing tree that TimingsTable
+// renders.
+type Stage struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (s *Stage) record(d time.Duration) {
+	s.count.Add(1)
+	s.totalNs.Add(int64(d))
+	for {
+		old := s.maxNs.Load()
+		if int64(d) <= old || s.maxNs.CompareAndSwap(old, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns how many spans completed for this stage.
+func (s *Stage) Count() int64 { return s.count.Load() }
+
+// Total returns the accumulated wall time.
+func (s *Stage) Total() time.Duration { return time.Duration(s.totalNs.Load()) }
+
+// Max returns the longest single span.
+func (s *Stage) Max() time.Duration { return time.Duration(s.maxNs.Load()) }
+
+func (s *Stage) reset() {
+	s.count.Store(0)
+	s.totalNs.Store(0)
+	s.maxNs.Store(0)
+}
+
+// Span starts a span timer for the named stage and returns the stop
+// function. The idiomatic call sites are
+//
+//	defer obs.Span("kcca.train")()
+//
+// for whole functions and
+//
+//	stop := obs.Span("kcca.train.eigen")
+//	... the stage ...
+//	stop()
+//
+// for regions. When instrumentation is disabled, Span returns a shared
+// no-op without touching the registry or the clock.
+func Span(name string) func() {
+	if !enabled.Load() {
+		return noop
+	}
+	s := GetStage(name)
+	start := time.Now()
+	return func() { s.record(time.Since(start)) }
+}

@@ -1,8 +1,9 @@
 // Package parallel provides the shared worker pool used by the numeric hot
 // paths (kernel matrices, dense linear algebra, nearest-neighbor search,
-// batch prediction). It is stdlib-only and deliberately small: a lazily
-// started pool of GOMAXPROCS goroutines, a chunked parallel For loop, a
-// typed Map, and a Do for heterogeneous fan-out.
+// batch prediction). It is deliberately small: a lazily started,
+// adaptively sized pool of goroutines (grown on demand to the effective
+// worker cap, never shrunk), a chunked parallel For loop, a typed Map, and
+// a Do for heterogeneous fan-out.
 //
 // Determinism contract: For partitions [0, n) into fixed contiguous chunks
 // and every index is processed by exactly one worker, so callers that write
@@ -21,6 +22,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool metrics. Counters and gauges are single atomic updates, cheap enough
+// to keep on permanently; see the obs package for the snapshot surface.
+var (
+	forCalls      = obs.GetCounter("parallel.for.calls")
+	serialCalls   = obs.GetCounter("parallel.for.serial")
+	chunksClaimed = obs.GetCounter("parallel.pool.chunks_claimed")
+	inlineRuns    = obs.GetCounter("parallel.pool.inline_runs")
+	workersGauge  = obs.GetGauge("parallel.pool.workers")
+	queueGauge    = obs.GetGauge("parallel.pool.queue_depth")
 )
 
 // maxProcs, when positive, caps the number of workers a single For/Map/Do
@@ -49,38 +63,56 @@ func MaxProcs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// The shared pool: a fixed set of workers draining a task channel. Workers
-// are started on first parallel call, sized to GOMAXPROCS at that moment.
-// Submission never blocks — if every worker is busy (including the nested
-// case where a worker itself calls For), the submitting goroutine runs the
-// task inline, so nested parallelism degrades to serial instead of
-// deadlocking.
+// The shared pool: workers draining a task channel. The pool grows lazily
+// and adaptively: every parallel call re-checks the effective worker cap
+// and starts any missing workers, so a first call made under a small
+// GOMAXPROCS (or a SetMaxProcs override) no longer freezes the pool at that
+// width forever. The pool never shrinks — an idle worker costs only a
+// goroutine blocked on the channel. Submission never blocks: when the queue
+// is full (including the nested case where a worker itself calls For), the
+// submitting goroutine runs the task inline, so nested parallelism degrades
+// to serial instead of deadlocking.
+const poolQueueCap = 256
+
 var (
-	poolOnce sync.Once
-	tasks    chan func()
+	poolMu      sync.Mutex
+	poolWorkers atomic.Int64
+	tasks       chan func()
 )
 
-func startPool() {
-	w := runtime.GOMAXPROCS(0)
-	if w < 1 {
-		w = 1
+// ensurePool grows the pool to the current effective worker cap.
+func ensurePool() {
+	want := MaxProcs()
+	if want < 1 {
+		want = 1
 	}
-	tasks = make(chan func(), w)
-	for i := 0; i < w; i++ {
+	if int(poolWorkers.Load()) >= want {
+		return
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if tasks == nil {
+		tasks = make(chan func(), poolQueueCap)
+	}
+	for int(poolWorkers.Load()) < want {
+		poolWorkers.Add(1)
 		go func() {
 			for task := range tasks {
 				task()
 			}
 		}()
 	}
+	workersGauge.Set(poolWorkers.Load())
 }
 
-// submit hands a task to the pool, running it inline when the pool is
-// saturated.
+// submit hands a task to the pool, running it inline when the queue is
+// full.
 func submit(task func()) {
 	select {
 	case tasks <- task:
+		queueGauge.Set(int64(len(tasks)))
 	default:
+		inlineRuns.Inc()
 		task()
 	}
 }
@@ -96,11 +128,13 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	forCalls.Inc()
 	if grain < 1 {
 		grain = 1
 	}
 	w := MaxProcs()
 	if w <= 1 || n <= grain {
+		serialCalls.Inc()
 		fn(0, n)
 		return
 	}
@@ -108,7 +142,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if w > chunks {
 		w = chunks
 	}
-	poolOnce.Do(startPool)
+	ensurePool()
 
 	// Completion is tracked by counting finished chunks, NOT by waiting for
 	// the helper goroutines: a helper that is still sitting in the pool
@@ -124,6 +158,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 			if c >= chunks {
 				return
 			}
+			chunksClaimed.Inc()
 			lo := c * grain
 			hi := lo + grain
 			if hi > n {

@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // workerCounts is the sweep used across the equivalence suites.
@@ -148,5 +150,50 @@ func TestForStress(t *testing.T) {
 	}
 	for g := 0; g < 8; g++ {
 		<-done
+	}
+}
+
+// TestPoolGrowsAfterSmallStart is the regression test for the stale pool
+// sizing bug: the pool used to be sized to GOMAXPROCS at the FIRST parallel
+// call and never resized, so a pool born under GOMAXPROCS=1 (or a small
+// SetMaxProcs override) permanently under-provisioned every later call.
+// Here the pool is deliberately started 1-2 workers wide, the cap is then
+// raised, and a rendezvous requires at least three chunk bodies to be in
+// flight at once — impossible unless the pool grew.
+func TestPoolGrowsAfterSmallStart(t *testing.T) {
+	oldGMP := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(oldGMP)
+	defer SetMaxProcs(SetMaxProcs(2))
+
+	// First parallel call while narrow: the buggy pool froze its worker
+	// count here.
+	For(8, 1, func(lo, hi int) {})
+
+	// Widen and demand real width. The rendezvous releases everyone once
+	// three bodies are concurrently inside; with a frozen 1-worker pool only
+	// the caller plus one worker can be inside simultaneously (queued and
+	// inline helpers run strictly after the caller's own drain blocks), so
+	// the timeout path fires.
+	runtime.GOMAXPROCS(4)
+	SetMaxProcs(4)
+	var entered atomic.Int64
+	var timedOut atomic.Bool
+	release := make(chan struct{})
+	var once sync.Once
+	For(4, 1, func(lo, hi int) {
+		if entered.Add(1) >= 3 {
+			once.Do(func() { close(release) })
+		}
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+			timedOut.Store(true)
+		}
+	})
+	if timedOut.Load() {
+		t.Fatalf("pool never reached width 3 after widening (workers=%d): stale pool sizing", poolWorkers.Load())
+	}
+	if got := int(poolWorkers.Load()); got < 4 {
+		t.Fatalf("pool has %d workers after widening to 4, want >= 4", got)
 	}
 }
