@@ -7,19 +7,25 @@
 //
 //	qpredict -sql "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 10"
 //	qpredict -machine prod32:8 -train 800 -twostep -sql "..."
+//	qpredict -json -sql "..."   # the daemon's wire schema, for scripts
 //
 // Without -sql, qpredict evaluates the model on a held-out test split and
 // prints accuracy, which is useful for sanity-checking a configuration.
+//
+// All exits route through internal/cli, so cleanup hooks (like the
+// -timings table) run on error paths too — the same exit path qpredictd's
+// shutdown hook uses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/api"
 	"repro/internal/catalog"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
@@ -39,29 +45,31 @@ func main() {
 	machineName := flag.String("machine", "research4", "machine: research4 or prod32:<cpus>")
 	twoStep := flag.Bool("twostep", false, "use two-step (query-type-specific) prediction")
 	verbose := flag.Bool("v", false, "print the query plan")
+	jsonOut := flag.Bool("json", false, "emit the prediction as JSON in the qpredictd wire schema (docs/API.md)")
 	saveTo := flag.String("save", "", "after training, save the model to this file")
 	loadFrom := flag.String("load", "", "load a previously saved model instead of training")
 	timings := flag.Bool("timings", false, "print the per-stage timing table on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /timings, /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	defer cli.RunHooks()
 
 	if *metricsAddr != "" {
 		addr, err := obs.ServeMetrics(*metricsAddr)
 		if err != nil {
-			fatal("metrics server: %v", err)
+			cli.Fatalf("metrics server: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "metrics at http://%s/metrics (timings, expvar, pprof alongside)\n", addr)
 	}
 	if *timings {
 		obs.SetEnabled(true)
-		// fatal() exits directly, so error paths skip the table; that is
-		// fine — there is nothing useful to time on a failed run.
-		defer func() { fmt.Fprint(os.Stderr, "\n"+obs.TimingsTable()) }()
+		// Registered as an exit hook (not a defer), so cli.Fatalf error
+		// paths print the table too.
+		cli.AtExit(func() { fmt.Fprint(os.Stderr, "\n"+obs.TimingsTable()) })
 	}
 
-	machine, err := parseMachine(*machineName)
+	machine, err := exec.ParseMachine(*machineName)
 	if err != nil {
-		fatal("%v", err)
+		cli.Fatalf("%v", err)
 	}
 	schema := catalog.TPCDS(1)
 	opt := core.DefaultOptions()
@@ -71,12 +79,12 @@ func main() {
 	if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
 		if err != nil {
-			fatal("opening model: %v", err)
+			cli.Fatalf("opening model: %v", err)
 		}
 		predictor, err = core.Load(f)
 		f.Close()
 		if err != nil {
-			fatal("loading model: %v", err)
+			cli.Fatalf("loading model: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded model trained on %d queries\n", predictor.N())
 	} else {
@@ -90,7 +98,7 @@ func main() {
 			Count:     *trainCount,
 		})
 		if err != nil {
-			fatal("generating training workload: %v", err)
+			cli.Fatalf("generating training workload: %v", err)
 		}
 		fmt.Fprintln(os.Stderr, "training KCCA model...")
 		if *sqlText == "" && *saveTo == "" {
@@ -99,20 +107,20 @@ func main() {
 		}
 		predictor, err = core.Train(pool.Queries, opt)
 		if err != nil {
-			fatal("training: %v", err)
+			cli.Fatalf("training: %v", err)
 		}
 	}
 
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)
 		if err != nil {
-			fatal("creating %s: %v", *saveTo, err)
+			cli.Fatalf("creating %s: %v", *saveTo, err)
 		}
 		if err := predictor.Save(f); err != nil {
-			fatal("saving model: %v", err)
+			cli.Fatalf("saving model: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fatal("closing %s: %v", *saveTo, err)
+			cli.Fatalf("closing %s: %v", *saveTo, err)
 		}
 		fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveTo)
 		if *sqlText == "" {
@@ -120,16 +128,16 @@ func main() {
 		}
 	}
 	if *sqlText == "" {
-		fatal("-load requires -sql (nothing to self-evaluate a loaded model against)")
+		cli.Fatalf("-load requires -sql (nothing to self-evaluate a loaded model against)")
 	}
 
 	ast, err := sqlparse.Parse(*sqlText)
 	if err != nil {
-		fatal("parsing SQL: %v", err)
+		cli.Fatalf("parsing SQL: %v", err)
 	}
 	plan, err := optimizer.BuildPlan(ast, schema, *dataSeed, optimizer.DefaultConfig(machine.Processors))
 	if err != nil {
-		fatal("planning: %v", err)
+		cli.Fatalf("planning: %v", err)
 	}
 	if *verbose {
 		fmt.Fprint(os.Stderr, optimizer.Explain(plan))
@@ -137,9 +145,13 @@ func main() {
 
 	pred, err := predictor.PredictQuery(&dataset.Query{SQL: *sqlText, AST: ast, Plan: plan})
 	if err != nil {
-		fatal("predicting: %v", err)
+		cli.Fatalf("predicting: %v", err)
 	}
 
+	if *jsonOut {
+		emitJSON(predictor, *sqlText, plan.Cost, pred)
+		return
+	}
 	fmt.Printf("predicted query type:  %s\n", pred.Category)
 	fmt.Printf("confidence:            %.2f\n", pred.Confidence)
 	fmt.Printf("elapsed time:          %.2f s\n", pred.Metrics.ElapsedSec)
@@ -148,6 +160,35 @@ func main() {
 	fmt.Printf("disk I/Os:             %.0f\n", pred.Metrics.DiskIOs)
 	fmt.Printf("message count:         %.0f\n", pred.Metrics.MessageCount)
 	fmt.Printf("message bytes:         %.0f\n", pred.Metrics.MessageBytes)
+}
+
+// emitJSON prints the prediction in the exact wire schema qpredictd
+// serves, so scripted consumers parse one format regardless of binary.
+func emitJSON(p *core.Predictor, sql string, cost float64, pred *core.Prediction) {
+	opt := p.Options()
+	m := api.MetricsFrom(pred.Metrics)
+	resp := api.PredictResponse{
+		Version: api.Version,
+		Model: &api.ModelInfo{
+			Generation: 1,
+			TrainedOn:  p.N(),
+			Features:   opt.Features.String(),
+			TwoStep:    opt.TwoStep,
+		},
+		Results: []api.QueryResult{{
+			SQL:           sql,
+			Metrics:       &m,
+			Category:      pred.Category.String(),
+			Confidence:    pred.Confidence,
+			OptimizerCost: cost,
+			Generation:    1,
+		}},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		cli.Fatalf("encoding JSON: %v", err)
+	}
 }
 
 // selfEvaluate holds out a fifth of the pool and reports accuracy.
@@ -169,11 +210,11 @@ func selfEvaluate(pool *dataset.Dataset, opt core.Options) {
 	}
 	predictor, err := core.Train(train, opt)
 	if err != nil {
-		fatal("training: %v", err)
+		cli.Fatalf("training: %v", err)
 	}
 	preds, err := predictor.PredictBatch(test)
 	if err != nil {
-		fatal("predicting: %v", err)
+		cli.Fatalf("predicting: %v", err)
 	}
 	var pred, act []float64
 	for i, q := range test {
@@ -184,23 +225,4 @@ func selfEvaluate(pool *dataset.Dataset, opt core.Options) {
 	fmt.Printf("  elapsed-time predictive risk: %s\n", eval.FormatRisk(eval.PredictiveRisk(pred, act)))
 	fmt.Printf("  within 20%% of actual:         %.0f%%\n", eval.WithinFactor(pred, act, 0.2)*100)
 	fmt.Print(eval.ScatterLogLog(pred, act, 60, 18, "  predicted vs actual elapsed time"))
-}
-
-func parseMachine(name string) (exec.Machine, error) {
-	if name == "research4" {
-		return exec.Research4(), nil
-	}
-	if rest, ok := strings.CutPrefix(name, "prod32:"); ok {
-		p, err := strconv.Atoi(rest)
-		if err != nil || p <= 0 || p > 32 {
-			return exec.Machine{}, fmt.Errorf("bad processor count %q (want 1..32)", rest)
-		}
-		return exec.Production32(p), nil
-	}
-	return exec.Machine{}, fmt.Errorf("unknown machine %q (want research4 or prod32:<cpus>)", name)
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
 }

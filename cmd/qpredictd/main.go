@@ -1,0 +1,159 @@
+// Command qpredictd is the online prediction service: the paper's Fig. 1
+// vendor-trains / customer-predicts workflow as a long-running daemon. It
+// trains (or loads) a KCCA performance predictor at boot, then serves
+// JSON predictions over HTTP, micro-batching concurrent requests through
+// the shared worker pool and hot-swapping in background retrains fed by
+// /v1/observe execution feedback. See docs/API.md for the wire schema.
+//
+// Usage:
+//
+//	qpredictd -addr :8080 -train 800
+//	qpredictd -addr :8080 -load model.bin -capacity 500 -retrain-every 100
+//
+//	curl -s localhost:8080/v1/predict -d '{"sql": "SELECT COUNT(*) FROM store_sales"}'
+//
+// Endpoints: /v1/predict, /v1/observe, /v1/model, /healthz, /readyz, plus
+// the observability surface (/metrics, /timings, /debug/pprof) on the same
+// listener. SIGINT/SIGTERM drain gracefully: the listener stops accepting,
+// in-flight micro-batches and queued observations finish, then the process
+// exits through the shared cleanup path (which also flushes -timings).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	trainCount := flag.Int("train", 800, "training workload size (ignored with -load)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	dataSeed := flag.Int64("dataseed", 1000, "data realization seed")
+	machineName := flag.String("machine", "research4", "machine: research4 or prod32:<cpus>")
+	twoStep := flag.Bool("twostep", false, "use two-step (query-type-specific) prediction")
+	loadFrom := flag.String("load", "", "load a previously saved model instead of training")
+	window := flag.Duration("window", 2*time.Millisecond, "micro-batch coalescing window (0 batches only what is already queued)")
+	maxBatch := flag.Int("max-batch", 64, "micro-batch size cap")
+	queueCap := flag.Int("queue", 1024, "pending-query queue bound (beyond it requests get 429)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request prediction deadline")
+	capacity := flag.Int("capacity", 500, "sliding retraining window capacity")
+	retrainEvery := flag.Int("retrain-every", 100, "observations between background retrains")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
+	timings := flag.Bool("timings", false, "print the per-stage timing table on exit")
+	flag.Parse()
+
+	if *timings {
+		obs.SetEnabled(true)
+		cli.AtExit(func() { fmt.Fprint(os.Stderr, "\n"+obs.TimingsTable()) })
+	}
+
+	machine, err := exec.ParseMachine(*machineName)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	schema := catalog.TPCDS(1)
+	opt := core.DefaultOptions()
+	opt.TwoStep = *twoStep
+
+	var predictor *core.Predictor
+	if *loadFrom != "" {
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			cli.Fatalf("opening model: %v", err)
+		}
+		predictor, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			cli.Fatalf("loading model: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded model trained on %d queries\n", predictor.N())
+	} else {
+		fmt.Fprintf(os.Stderr, "generating %d training queries on %s...\n", *trainCount, machine)
+		pool, err := dataset.Generate(dataset.GenConfig{
+			Seed:      *seed,
+			DataSeed:  *dataSeed,
+			Machine:   machine,
+			Schema:    schema,
+			Templates: workload.TPCDSTemplates(),
+			Count:     *trainCount,
+		})
+		if err != nil {
+			cli.Fatalf("generating training workload: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "training KCCA model...")
+		predictor, err = core.Train(pool.Queries, opt)
+		if err != nil {
+			cli.Fatalf("training: %v", err)
+		}
+	}
+
+	sliding, err := core.NewSliding(*capacity, *retrainEvery, opt)
+	if err != nil {
+		cli.Fatalf("sliding window: %v", err)
+	}
+	svc, err := serve.New(serve.Config{
+		Predictor: predictor,
+		Sliding:   sliding,
+		Schema:    schema,
+		Machine:   machine,
+		DataSeed:  *dataSeed,
+		Window:    *window,
+		MaxBatch:  *maxBatch,
+		QueueCap:  *queueCap,
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		cli.Fatalf("starting service: %v", err)
+	}
+	// The drain is an exit hook, so every exit route — signal, Fatalf, or
+	// normal return — finishes in-flight work before the process dies.
+	cli.AtExit(svc.Close)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	oh := obs.Handler()
+	mux.Handle("/metrics", oh)
+	mux.Handle("/timings", oh)
+	mux.Handle("/debug/", oh)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatalf("listening on %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	fmt.Printf("qpredictd serving on http://%s (model: %d queries)\n", ln.Addr(), predictor.N())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "signal received, draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+		cli.Exit(0)
+	case err := <-errc:
+		cli.Fatalf("server: %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package api defines the JSON wire types of the prediction service — the
+// one stable schema shared by the qpredictd daemon and the qpredict -json
+// CLI output, so scripted consumers see a single format no matter which
+// binary produced it.
+//
+// Versioning rules (documented for consumers in docs/API.md):
+//
+//   - Every response carries a "version" field, currently Version.
+//   - Within a version, fields are only ever added, never renamed, removed,
+//     or retyped; consumers must ignore unknown fields.
+//   - Metric names in the Metrics object are exactly the six names of
+//     exec.MetricNames and will not change within a version.
+//   - A breaking change bumps the version string and the /v<N>/ URL prefix.
+package api
+
+import "repro/internal/exec"
+
+// Version identifies the wire schema carried in every response.
+const Version = "v1"
+
+// PredictRequest is the body of POST /v1/predict. The single-query
+// shorthand {"sql": "..."} and the batch form {"queries": [{"sql": ...}]}
+// may be combined; the shorthand query is predicted first.
+type PredictRequest struct {
+	SQL     string       `json:"sql,omitempty"`
+	Queries []QueryInput `json:"queries,omitempty"`
+}
+
+// QueryInput is one query to predict.
+type QueryInput struct {
+	SQL string `json:"sql"`
+}
+
+// Inputs normalizes the request into a flat query list: the single-query
+// shorthand (if present) followed by the batch entries.
+func (r *PredictRequest) Inputs() []QueryInput {
+	var in []QueryInput
+	if r.SQL != "" {
+		in = append(in, QueryInput{SQL: r.SQL})
+	}
+	return append(in, r.Queries...)
+}
+
+// Metrics is the six-metric prediction (or observation) vector. The JSON
+// names match exec.MetricNames, the paper's Sec. VI-D ordering.
+type Metrics struct {
+	ElapsedSec      float64 `json:"elapsed_time"`
+	RecordsAccessed float64 `json:"records_accessed"`
+	RecordsUsed     float64 `json:"records_used"`
+	DiskIOs         float64 `json:"disk_ios"`
+	MessageCount    float64 `json:"message_count"`
+	MessageBytes    float64 `json:"message_bytes"`
+}
+
+// MetricsFrom converts the simulator's metrics struct to the wire form.
+func MetricsFrom(m exec.Metrics) Metrics {
+	return Metrics{
+		ElapsedSec:      m.ElapsedSec,
+		RecordsAccessed: m.RecordsAccessed,
+		RecordsUsed:     m.RecordsUsed,
+		DiskIOs:         m.DiskIOs,
+		MessageCount:    m.MessageCount,
+		MessageBytes:    m.MessageBytes,
+	}
+}
+
+// Exec converts the wire metrics back to the simulator's struct.
+func (m Metrics) Exec() exec.Metrics {
+	return exec.Metrics{
+		ElapsedSec:      m.ElapsedSec,
+		RecordsAccessed: m.RecordsAccessed,
+		RecordsUsed:     m.RecordsUsed,
+		DiskIOs:         m.DiskIOs,
+		MessageCount:    m.MessageCount,
+		MessageBytes:    m.MessageBytes,
+	}
+}
+
+// QueryResult is the prediction for one input query. Either Metrics or
+// Error is set, never both: a malformed query in a batch fails alone
+// without voiding its neighbors.
+type QueryResult struct {
+	// SQL echoes the input query.
+	SQL string `json:"sql,omitempty"`
+	// Metrics are the six predicted performance metrics.
+	Metrics *Metrics `json:"metrics,omitempty"`
+	// Category is the predicted runtime class (feather / golf ball /
+	// bowling ball / wrecking ball).
+	Category string `json:"category,omitempty"`
+	// Confidence in (0, 1]: low values flag queries far from everything
+	// the model has seen.
+	Confidence float64 `json:"confidence,omitempty"`
+	// OptimizerCost is the optimizer's scalar cost estimate for the same
+	// plan, in internal optimizer units — the classical baseline, exposed
+	// side by side so callers can compare it against the learned
+	// prediction.
+	OptimizerCost float64 `json:"optimizer_cost,omitempty"`
+	// Generation is the model generation that produced this result (it can
+	// differ between results of one batch when a hot swap lands mid-batch).
+	Generation int64 `json:"generation,omitempty"`
+	// Error is set instead of Metrics when this query failed.
+	Error *Error `json:"error,omitempty"`
+}
+
+// PredictResponse is the body of a successful POST /v1/predict.
+type PredictResponse struct {
+	Version string        `json:"version"`
+	Model   *ModelInfo    `json:"model,omitempty"`
+	Results []QueryResult `json:"results"`
+}
+
+// ModelInfo describes the currently served model (GET /v1/model and the
+// model field of predict responses).
+type ModelInfo struct {
+	// Generation counts hot swaps: 1 is the boot model, each background
+	// retrain that is swapped in increments it.
+	Generation int64 `json:"generation"`
+	// TrainedOn is the number of training queries behind the model.
+	TrainedOn int `json:"trained_on"`
+	// Features names the query-side feature vector (query-plan or
+	// sql-text).
+	Features string `json:"features"`
+	// TwoStep reports whether type-specific two-step prediction is on.
+	TwoStep bool `json:"two_step"`
+	// Swaps is the number of completed hot swaps since boot.
+	Swaps int64 `json:"swaps"`
+	// WindowSize is the sliding window's current occupancy (0 when the
+	// daemon runs a static model with no observation feedback).
+	WindowSize int `json:"window_size,omitempty"`
+}
+
+// ObserveRequest is the body of POST /v1/observe: executed queries with
+// their measured metrics, feeding the sliding retraining window.
+type ObserveRequest struct {
+	Observations []Observation `json:"observations"`
+}
+
+// Observation is one executed query and what it actually cost.
+type Observation struct {
+	SQL     string  `json:"sql"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// ObserveResponse is the body of a successful POST /v1/observe. Accepted
+// observations are queued; retraining happens in the background, so the
+// generation visible here may trail the swap the observations trigger.
+type ObserveResponse struct {
+	Version    string `json:"version"`
+	Accepted   int    `json:"accepted"`
+	WindowSize int    `json:"window_size"`
+	Generation int64  `json:"generation"`
+}
+
+// Error is a machine-readable failure: Code is stable and branchable,
+// Message is human diagnostics and may change freely.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Version string `json:"version"`
+	Error   Error  `json:"error"`
+}
+
+// Stable error codes. HTTP status codes give the coarse class; these give
+// the branchable cause.
+const (
+	// CodeBadRequest: the body was not valid JSON for the endpoint, or was
+	// structurally empty (HTTP 400).
+	CodeBadRequest = "bad_request"
+	// CodeParse: the SQL text did not parse (HTTP 400).
+	CodeParse = "parse_error"
+	// CodePlan: the query parsed but could not be planned against the
+	// schema (HTTP 400).
+	CodePlan = "plan_error"
+	// CodeDimension: a feature vector did not match the model (HTTP 400).
+	CodeDimension = "dimension_mismatch"
+	// CodeNotTrained: no model is available yet; retry after the first
+	// training completes (HTTP 503).
+	CodeNotTrained = "model_not_trained"
+	// CodeOverloaded: the request queue is full; back off and retry
+	// (HTTP 429).
+	CodeOverloaded = "overloaded"
+	// CodeTimeout: the per-request deadline elapsed before the prediction
+	// was served (HTTP 504).
+	CodeTimeout = "timeout"
+	// CodeShuttingDown: the daemon is draining and accepts no new work
+	// (HTTP 503).
+	CodeShuttingDown = "shutting_down"
+	// CodeMethod: wrong HTTP method for the endpoint (HTTP 405).
+	CodeMethod = "method_not_allowed"
+	// CodeInternal: an unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)

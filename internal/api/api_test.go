@@ -1,0 +1,103 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func TestInputsNormalization(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []string
+	}{
+		{"single shorthand", `{"sql": "SELECT 1"}`, []string{"SELECT 1"}},
+		{"batch", `{"queries": [{"sql": "a"}, {"sql": "b"}]}`, []string{"a", "b"}},
+		{"shorthand plus batch", `{"sql": "a", "queries": [{"sql": "b"}]}`, []string{"a", "b"}},
+		{"empty", `{}`, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var req PredictRequest
+			if err := json.Unmarshal([]byte(c.body), &req); err != nil {
+				t.Fatal(err)
+			}
+			in := req.Inputs()
+			if len(in) != len(c.want) {
+				t.Fatalf("got %d inputs, want %d", len(in), len(c.want))
+			}
+			for i := range in {
+				if in[i].SQL != c.want[i] {
+					t.Errorf("input %d = %q, want %q", i, in[i].SQL, c.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMetricsRoundTrip checks the wire conversion is lossless and the JSON
+// keys are exactly the six metric names of exec.MetricNames — the schema
+// consumers grep for.
+func TestMetricsRoundTrip(t *testing.T) {
+	in := exec.Metrics{
+		ElapsedSec:      1.25,
+		RecordsAccessed: 1e9,
+		RecordsUsed:     3.5e5,
+		DiskIOs:         42,
+		MessageCount:    7,
+		MessageBytes:    1 << 30,
+	}
+	wire := MetricsFrom(in)
+	if wire.Exec() != in {
+		t.Fatalf("round trip changed metrics: %+v -> %+v", in, wire.Exec())
+	}
+	raw, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]float64
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != exec.NumMetrics {
+		t.Fatalf("wire metrics have %d keys, want %d: %s", len(keys), exec.NumMetrics, raw)
+	}
+	for _, name := range exec.MetricNames {
+		if _, ok := keys[name]; !ok {
+			t.Errorf("wire metrics missing %q: %s", name, raw)
+		}
+	}
+	// JSON float64 encoding is shortest-round-trip, so decode restores the
+	// exact bits — the property the serving equivalence tests rely on.
+	var back Metrics
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != wire {
+		t.Fatalf("JSON round trip changed metrics: %+v -> %+v", wire, back)
+	}
+}
+
+// TestErrorResponseShape pins the error envelope: version + code + message.
+func TestErrorResponseShape(t *testing.T) {
+	raw, err := json.Marshal(ErrorResponse{
+		Version: Version,
+		Error:   Error{Code: CodeOverloaded, Message: "queue full"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["version"] != Version {
+		t.Errorf("version = %v, want %q", m["version"], Version)
+	}
+	e, ok := m["error"].(map[string]any)
+	if !ok || e["code"] != CodeOverloaded || e["message"] != "queue full" {
+		t.Errorf("error envelope = %s", raw)
+	}
+}

@@ -1,0 +1,60 @@
+// Package cli is the shared exit path of the repo's commands. Its one job
+// is making cleanup reliable: hooks registered with AtExit (flushing the
+// obs timings table, draining a server, removing a partial output file)
+// run exactly once on every exit route — normal return, Fatalf, or a
+// signal-triggered shutdown — where a bare os.Exit would silently skip
+// deferred cleanup (the old qpredict fatal() wart: -timings printed
+// nothing on error paths).
+package cli
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+var (
+	mu    sync.Mutex
+	hooks []func()
+	ran   bool
+
+	// exit is swapped out by tests; everything funnels through it.
+	exit = os.Exit
+)
+
+// AtExit registers a cleanup hook. Hooks run in reverse registration order
+// (like defers), exactly once, on Exit or Fatalf.
+func AtExit(hook func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = append(hooks, hook)
+}
+
+// RunHooks runs the registered hooks now (reverse order, once). Exit calls
+// it automatically; main functions that return normally instead of calling
+// Exit should defer it.
+func RunHooks() {
+	mu.Lock()
+	if ran {
+		mu.Unlock()
+		return
+	}
+	ran = true
+	hs := hooks
+	mu.Unlock()
+	for i := len(hs) - 1; i >= 0; i-- {
+		hs[i]()
+	}
+}
+
+// Exit runs the hooks and terminates with the given status code.
+func Exit(code int) {
+	RunHooks()
+	exit(code)
+}
+
+// Fatalf prints the message to stderr, runs the hooks, and exits 1.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	Exit(1)
+}

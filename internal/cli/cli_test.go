@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"os"
+	"testing"
+)
+
+// reset clears package state between tests (the package is process-global
+// by design; tests exercise it in isolation).
+func reset() {
+	mu.Lock()
+	hooks = nil
+	ran = false
+	mu.Unlock()
+}
+
+func TestExitRunsHooksInReverseOnce(t *testing.T) {
+	reset()
+	var order []int
+	AtExit(func() { order = append(order, 1) })
+	AtExit(func() { order = append(order, 2) })
+	code := -1
+	exit = func(c int) { code = c }
+	defer func() { exit = os.Exit }()
+
+	Exit(7)
+	if code != 7 {
+		t.Fatalf("exit code %d, want 7", code)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("hooks ran in order %v, want [2 1]", order)
+	}
+
+	// A second RunHooks (for example Exit after a deferred RunHooks) is a
+	// no-op: hooks never run twice.
+	RunHooks()
+	if len(order) != 2 {
+		t.Fatalf("hooks re-ran: %v", order)
+	}
+}
+
+func TestRunHooksThenExit(t *testing.T) {
+	reset()
+	runs := 0
+	AtExit(func() { runs++ })
+	RunHooks()
+	exited := false
+	exit = func(int) { exited = true }
+	defer func() { exit = os.Exit }()
+	Exit(0)
+	if runs != 1 {
+		t.Fatalf("hook ran %d times, want 1", runs)
+	}
+	if !exited {
+		t.Fatal("Exit did not terminate")
+	}
+}

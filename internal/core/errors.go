@@ -1,0 +1,30 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the conditions callers routinely branch on. Every
+// failure returned by this package wraps one of these (or an error from a
+// lower layer that itself exports sentinels, like knn and kcca), so callers
+// use errors.Is rather than string matching. The serving layer maps them to
+// HTTP status codes: not-trained is a 503 (retry once a model exists), the
+// rest of these are caller mistakes (400-class).
+var (
+	// ErrNotTrained means prediction was requested before any model was
+	// trained (for example a SlidingPredictor that has not yet observed
+	// enough queries to fit its first model).
+	ErrNotTrained = errors.New("core: model not trained")
+	// ErrTooFewQueries means a training set was below the five-query
+	// minimum KCCA needs.
+	ErrTooFewQueries = errors.New("core: too few training queries")
+	// ErrEmptyWindow means a sliding retrain was forced while the window
+	// held too few observations to train from.
+	ErrEmptyWindow = errors.New("core: sliding window holds too few observations")
+	// ErrNoPlan means plan features were requested for a query that was
+	// never planned.
+	ErrNoPlan = errors.New("core: query has no plan")
+	// ErrDimension means a raw feature vector's length does not match the
+	// trained model's feature dimensionality.
+	ErrDimension = errors.New("core: feature dimension mismatch")
+	// ErrEmptyRequest means a Request carried neither a query nor a vector.
+	ErrEmptyRequest = errors.New("core: empty request (no query and no vector)")
+)

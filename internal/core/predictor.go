@@ -14,7 +14,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -26,7 +25,6 @@ import (
 	"repro/internal/knn"
 	"repro/internal/linalg"
 	"repro/internal/obs"
-	"repro/internal/parallel"
 	"repro/internal/statutil"
 	"repro/internal/workload"
 )
@@ -124,7 +122,7 @@ func queryFeature(q *dataset.Query, kind FeatureKind) ([]float64, error) {
 		return features.SQLVector(q.SQL)
 	default:
 		if q.Plan == nil {
-			return nil, errors.New("core: query has no plan")
+			return nil, ErrNoPlan
 		}
 		return features.PlanVector(q.Plan), nil
 	}
@@ -135,7 +133,7 @@ func Train(train []*dataset.Query, opt Options) (*Predictor, error) {
 	defer obs.Span("core.train")()
 	defer trainSeconds.Time()()
 	if len(train) < 5 {
-		return nil, fmt.Errorf("core: need at least 5 training queries, have %d", len(train))
+		return nil, fmt.Errorf("%w: need at least 5, have %d", ErrTooFewQueries, len(train))
 	}
 	if opt.KNN.K <= 0 {
 		opt.KNN = knn.DefaultOptions()
@@ -262,39 +260,45 @@ func (p *Predictor) referenceScales() (distScale, kernelScale float64) {
 }
 
 // PredictQuery predicts the metrics of a planned (but not executed) query.
+// It is a thin wrapper over Predict — the canonical Request/Result
+// entrypoint — kept for callers with exactly one planned query in hand.
 func (p *Predictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
-	f, err := queryFeature(q, p.opt.Features)
-	if err != nil {
-		return nil, err
-	}
-	return p.PredictVector(f)
+	r := p.Predict(Request{Query: q})[0]
+	return r.Prediction, r.Err
 }
 
-// PredictBatch predicts many queries at once, fanning the projection + kNN
-// pipeline of Fig. 7 out across the shared worker pool (a trained Predictor
-// is immutable, so concurrent predictions are safe). Results are
-// positionally identical to calling PredictQuery in a loop; the first error
-// encountered (by query order) is returned.
+// PredictBatch predicts many queries at once. It is a thin wrapper over
+// Predict that keeps the historical all-or-nothing contract: results are
+// positionally identical to calling PredictQuery in a loop, and the first
+// error encountered (by query order) voids the whole batch. Callers that
+// want per-query errors use Predict directly.
 func (p *Predictor) PredictBatch(qs []*dataset.Query) ([]*Prediction, error) {
-	defer obs.Span("core.predict_batch")()
-	batchSize.Observe(float64(len(qs)))
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = Request{Query: q}
+	}
+	results := p.Predict(reqs...)
 	preds := make([]*Prediction, len(qs))
-	errs := make([]error, len(qs))
-	parallel.For(len(qs), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			preds[i], errs[i] = p.PredictQuery(qs[i])
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, r.Err)
 		}
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
-		}
+		preds[i] = r.Prediction
 	}
 	return preds, nil
 }
 
-// PredictVector predicts from a raw query feature vector.
+// PredictVector predicts from a raw query feature vector. It is a thin
+// wrapper over Predict kept for callers that extract features themselves.
 func (p *Predictor) PredictVector(f []float64) (*Prediction, error) {
+	r := p.Predict(Request{Vector: f})[0]
+	return r.Prediction, r.Err
+}
+
+// predictVector is the Fig. 7 pipeline on a validated feature vector:
+// project into the canonical space, find neighbors, combine (directly or
+// via the two-step type-specific model).
+func (p *Predictor) predictVector(f []float64) (*Prediction, error) {
 	defer predictSeconds.Time()()
 	predictCount.Inc()
 	proj := p.model.ProjectQuery(f)
@@ -306,7 +310,7 @@ func (p *Predictor) PredictVector(f []float64) (*Prediction, error) {
 	if p.opt.TwoStep {
 		cat := p.voteCategory(nbs)
 		if sub, ok := p.sub[cat]; ok {
-			pred, err := sub.PredictVector(f)
+			pred, err := sub.predictVector(f)
 			if err == nil {
 				pred.Category = cat
 				return pred, nil
@@ -400,6 +404,9 @@ func (p *Predictor) WithKNN(opt knn.Options) *Predictor {
 
 // N returns the number of training queries.
 func (p *Predictor) N() int { return p.model.N() }
+
+// Options returns the options the predictor was trained with.
+func (p *Predictor) Options() Options { return p.opt }
 
 // Model exposes the underlying KCCA model (for inspection and plots).
 func (p *Predictor) Model() *kcca.Model { return p.model }

@@ -91,7 +91,7 @@ func (s *SlidingPredictor) Observe(q *dataset.Query) error {
 // Retrain rebuilds the predictor from the current window immediately.
 func (s *SlidingPredictor) Retrain() error {
 	if s.size < 5 {
-		return errors.New("core: too few observed queries to train")
+		return fmt.Errorf("%w: have %d, need at least 5", ErrEmptyWindow, s.size)
 	}
 	p, err := Train(s.Window(), s.opt)
 	if err != nil {
@@ -110,10 +110,15 @@ func (s *SlidingPredictor) Ready() bool { return s.current != nil }
 // PredictQuery predicts with the most recently trained model.
 func (s *SlidingPredictor) PredictQuery(q *dataset.Query) (*Prediction, error) {
 	if s.current == nil {
-		return nil, errors.New("core: sliding predictor has not trained yet")
+		return nil, fmt.Errorf("%w: sliding predictor has not observed enough queries", ErrNotTrained)
 	}
 	return s.current.PredictQuery(q)
 }
+
+// Current returns the most recently trained predictor, or nil before the
+// first training. The serving layer publishes this into its hot-swap slot
+// after each retrain.
+func (s *SlidingPredictor) Current() *Predictor { return s.current }
 
 // Window returns the retained queries in observation order, oldest first —
 // the exact training order Retrain uses.

@@ -14,7 +14,11 @@
 // exchange-generated message traffic, and multiplicative measurement noise.
 package exec
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Machine describes one database system configuration.
 type Machine struct {
@@ -128,4 +132,21 @@ func Production32(p int) Machine {
 		p = 32
 	}
 	return Machine{Name: fmt.Sprintf("prod32-%dcpu", p), Processors: p, Disks: 32, MemPerCPUMB: 160}
+}
+
+// ParseMachine resolves a command-line machine name: "research4" or
+// "prod32:<cpus>" with 1..32 cpus. The commands share it so the two
+// daemons and the CLI accept identical -machine values.
+func ParseMachine(name string) (Machine, error) {
+	if name == "research4" {
+		return Research4(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "prod32:"); ok {
+		p, err := strconv.Atoi(rest)
+		if err != nil || p <= 0 || p > 32 {
+			return Machine{}, fmt.Errorf("bad processor count %q (want 1..32)", rest)
+		}
+		return Production32(p), nil
+	}
+	return Machine{}, fmt.Errorf("unknown machine %q (want research4 or prod32:<cpus>)", name)
 }

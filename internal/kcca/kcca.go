@@ -47,6 +47,18 @@ func DefaultOptions() Options {
 	return Options{TauFracX: 0.1, TauFracY: 0.2, Rank: 0, Dims: 0, Reg: 1e-3}
 }
 
+// Sentinel errors, for errors.Is branching by callers (core wraps these).
+var (
+	// ErrRowMismatch means the query and performance feature matrices
+	// disagree on training-query count.
+	ErrRowMismatch = errors.New("kcca: feature matrices must have equal row counts")
+	// ErrTooFew means the training set was below the five-query minimum.
+	ErrTooFew = errors.New("kcca: need at least five training queries")
+	// ErrDegenerate means a kernel matrix had no numerically significant
+	// components to build a projection from.
+	ErrDegenerate = errors.New("kcca: kernel matrix has no significant components")
+)
+
 // Model is a trained KCCA model.
 type Model struct {
 	// X holds the training query feature matrix (needed to kernelize new
@@ -78,11 +90,11 @@ type Model struct {
 func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 	defer obs.Span("kcca.train")()
 	if x.Rows != y.Rows {
-		return nil, errors.New("kcca: feature matrices must have equal row counts")
+		return nil, ErrRowMismatch
 	}
 	n := x.Rows
 	if n < 5 {
-		return nil, errors.New("kcca: need at least five training queries")
+		return nil, ErrTooFew
 	}
 	if opt.TauFracX <= 0 {
 		opt.TauFracX = 0.1
@@ -194,7 +206,7 @@ func kernelPCA(k *linalg.Matrix, r int) (phi, u *linalg.Matrix, lam []float64, e
 		keep++
 	}
 	if keep == 0 {
-		return nil, nil, nil, errors.New("kcca: kernel matrix has no significant components")
+		return nil, nil, nil, ErrDegenerate
 	}
 	vals = vals[:keep]
 	vecs = vecs.SliceCols(0, keep)

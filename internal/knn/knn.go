@@ -8,6 +8,7 @@ package knn
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -21,6 +22,18 @@ import (
 var (
 	searchQueries    = obs.GetCounter("knn.search.queries")
 	searchCandidates = obs.GetHistogram("knn.search.candidates")
+)
+
+// Sentinel errors, for errors.Is branching by callers (core wraps these,
+// and the serving layer maps them to HTTP status codes).
+var (
+	// ErrNoPoints means the candidate set was empty.
+	ErrNoPoints = errors.New("knn: no points")
+	// ErrBadK means the requested neighbor count was not positive.
+	ErrBadK = errors.New("knn: nonpositive k")
+	// ErrDimension means query and point dimensionalities differ, or the
+	// point and value matrices disagree on row count.
+	ErrDimension = errors.New("knn: dimension mismatch")
 )
 
 // Distance selects the neighbor distance metric.
@@ -93,10 +106,13 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 	defer obs.Span("knn.search")()
 	n := points.Rows
 	if n == 0 {
-		return nil, errors.New("knn: no points")
+		return nil, ErrNoPoints
 	}
 	if k <= 0 {
-		return nil, errors.New("knn: nonpositive k")
+		return nil, ErrBadK
+	}
+	if len(q) != points.Cols {
+		return nil, fmt.Errorf("%w: query has %d dims, points have %d", ErrDimension, len(q), points.Cols)
 	}
 	if k > n {
 		k = n
@@ -147,14 +163,14 @@ func less(a, b Neighbor) bool {
 func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbor, error) {
 	defer obs.Span("knn.search")()
 	if queries.Cols != points.Cols {
-		return nil, errors.New("knn: query and point dimensions differ")
+		return nil, fmt.Errorf("%w: queries have %d dims, points have %d", ErrDimension, queries.Cols, points.Cols)
 	}
 	n := points.Rows
 	if n == 0 {
-		return nil, errors.New("knn: no points")
+		return nil, ErrNoPoints
 	}
 	if k <= 0 {
-		return nil, errors.New("knn: nonpositive k")
+		return nil, ErrBadK
 	}
 	if k > n {
 		k = n
@@ -211,7 +227,7 @@ func Combine(values *linalg.Matrix, neighbors []Neighbor, w Weighting) []float64
 // Predict is Nearest followed by Combine.
 func Predict(points, values *linalg.Matrix, q []float64, opt Options) ([]float64, []Neighbor, error) {
 	if points.Rows != values.Rows {
-		return nil, nil, errors.New("knn: point and value row counts differ")
+		return nil, nil, fmt.Errorf("%w: %d points but %d value rows", ErrDimension, points.Rows, values.Rows)
 	}
 	nbs, err := Nearest(points, q, opt.K, opt.Distance)
 	if err != nil {

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// batchItem is one query riding through the coalescer. The handler that
+// submitted it waits on done; the coalescer fills res and gen, then closes
+// done (the close is the happens-before edge that publishes the result).
+// A handler that gives up (per-request timeout) simply abandons the item —
+// the coalescer still writes to it, but nobody reads.
+type batchItem struct {
+	req  core.Request
+	res  core.Result
+	gen  int64
+	done chan struct{}
+}
+
+// submit hands an item to the coalescer without blocking: a full queue
+// sheds load with errOverloaded (the handler reports 429) instead of
+// stacking goroutines.
+func (s *Server) submit(it *batchItem) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errShuttingDown
+	}
+	select {
+	case s.queue <- it:
+		queueDepth.Set(int64(len(s.queue)))
+		return nil
+	default:
+		rejectedOverload.Inc()
+		return errOverloaded
+	}
+}
+
+// coalesceLoop gathers concurrently submitted queries into micro-batches:
+// the first arrival opens a batch, then up to Window elapses (or MaxBatch
+// is reached, or the queue closes) before the batch is fed through one
+// core Predict call — amortizing the worker-pool fan-out across requests
+// that arrived together. With Window zero the loop still sweeps whatever
+// is already queued, so bursts batch without adding any latency.
+func (s *Server) coalesceLoop() {
+	defer close(s.coalesceDone)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*batchItem, 0, s.cfg.MaxBatch), first)
+		if s.cfg.Window > 0 {
+			timer := time.NewTimer(s.cfg.Window)
+			for len(batch) < s.cfg.MaxBatch {
+				stop := false
+				select {
+				case it, ok := <-s.queue:
+					if !ok {
+						stop = true
+						break
+					}
+					batch = append(batch, it)
+				case <-timer.C:
+					stop = true
+				}
+				if stop {
+					break
+				}
+			}
+			timer.Stop()
+		} else {
+			for len(batch) < s.cfg.MaxBatch {
+				stop := false
+				select {
+				case it, ok := <-s.queue:
+					if !ok {
+						stop = true
+						break
+					}
+					batch = append(batch, it)
+				default:
+					stop = true
+				}
+				if stop {
+					break
+				}
+			}
+		}
+		queueDepth.Set(int64(len(s.queue)))
+		s.runBatch(batch)
+	}
+}
+
+// runBatch answers one micro-batch with one model: the slot is read once,
+// so every item in the batch is served by the same generation even while
+// retrains swap the slot concurrently. Predictions are delegated to the
+// core Request/Result entrypoint, which fans out across the shared worker
+// pool — responses are bit-identical to a direct PredictBatch on the same
+// queries because they are the same code path.
+func (s *Server) runBatch(batch []*batchItem) {
+	batchSizeHist.Observe(float64(len(batch)))
+	m := s.slot.get()
+	reqs := make([]core.Request, len(batch))
+	for i, b := range batch {
+		reqs[i] = b.req
+	}
+	results := m.pred.Predict(reqs...)
+	for i, b := range batch {
+		b.res = results[i]
+		b.gen = m.gen
+		close(b.done)
+	}
+}

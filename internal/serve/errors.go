@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/kcca"
+	"repro/internal/knn"
+)
+
+// Serving-layer sentinels for conditions that arise in the daemon itself
+// rather than in the model.
+var (
+	errOverloaded   = errors.New("serve: request queue is full")
+	errShuttingDown = errors.New("serve: daemon is draining")
+	errNoFeedback   = errors.New("serve: daemon runs a static model (no observation feedback)")
+)
+
+// apiError maps any error from the prediction stack to a stable wire code,
+// using the sentinel errors exported by core/kcca/knn. Unknown errors
+// become CodeInternal so new failure modes fail loudly rather than being
+// misclassified as caller mistakes.
+func apiError(err error) *api.Error {
+	code := api.CodeInternal
+	switch {
+	case errors.Is(err, core.ErrNotTrained):
+		code = api.CodeNotTrained
+	case errors.Is(err, core.ErrDimension), errors.Is(err, knn.ErrDimension):
+		code = api.CodeDimension
+	case errors.Is(err, core.ErrNoPlan),
+		errors.Is(err, core.ErrEmptyRequest),
+		errors.Is(err, core.ErrTooFewQueries),
+		errors.Is(err, core.ErrEmptyWindow),
+		errors.Is(err, kcca.ErrTooFew),
+		errors.Is(err, kcca.ErrRowMismatch):
+		code = api.CodeBadRequest
+	case errors.Is(err, errOverloaded):
+		code = api.CodeOverloaded
+	case errors.Is(err, errShuttingDown):
+		code = api.CodeShuttingDown
+	}
+	return &api.Error{Code: code, Message: err.Error()}
+}
+
+// statusFor maps a wire error code to its HTTP status.
+func statusFor(code string) int {
+	switch code {
+	case api.CodeBadRequest, api.CodeParse, api.CodePlan, api.CodeDimension:
+		return http.StatusBadRequest
+	case api.CodeNotTrained, api.CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	case api.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case api.CodeTimeout:
+		return http.StatusGatewayTimeout
+	case api.CodeMethod:
+		return http.StatusMethodNotAllowed
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError emits the standard error body for its code's status.
+func writeError(w http.ResponseWriter, code, message string) {
+	writeJSON(w, statusFor(code), api.ErrorResponse{
+		Version: api.Version,
+		Error:   api.Error{Code: code, Message: message},
+	})
+}
+
+// writeJSON emits any response body with the right headers.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body)
+}

@@ -1,0 +1,390 @@
+// Package serve is the network-facing layer of the predictor: the handler,
+// micro-batching coalescer, and hot-swappable model slot behind the
+// qpredictd daemon — the paper's Fig. 1 vendor-trains / customer-predicts
+// workflow turned into an online service. It is stdlib-only and built
+// around httptest-friendly pieces: New wires a Server from a Config,
+// Handler returns its mux, Close drains it.
+//
+// Request flow: /v1/predict parses and plans each SQL query, submits the
+// planned queries to the coalescer (bounded queue, 429 on overflow), and
+// waits with a per-request deadline. The coalescer gathers concurrent
+// arrivals for up to Window (or MaxBatch) and answers each micro-batch
+// with one atomic read of the model slot and one core Predict call.
+// /v1/observe feeds executed queries into a sliding retraining window
+// owned by a background goroutine; each completed retrain is swapped into
+// the slot without blocking a single read.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// Serving metrics: queue depths, micro-batch sizes, swaps, request
+// outcomes, and handler latency.
+var (
+	queueDepth        = obs.GetGauge("serve.queue.depth")
+	observeQueueDepth = obs.GetGauge("serve.observe.queue_depth")
+	batchSizeHist     = obs.GetHistogram("serve.batch.size")
+	modelSwaps        = obs.GetCounter("serve.model.swaps")
+	retrainErrors     = obs.GetCounter("serve.retrain.errors")
+	rejectedOverload  = obs.GetCounter("serve.rejected.overload")
+	requestTimeouts   = obs.GetCounter("serve.request.timeouts")
+	predictRequests   = obs.GetCounter("serve.requests.predict")
+	observeRequests   = obs.GetCounter("serve.requests.observe")
+	predictSeconds    = obs.GetHistogram("serve.predict.seconds")
+)
+
+// Config wires a Server.
+type Config struct {
+	// Predictor is the boot model. It may be nil when Sliding is set — the
+	// daemon then starts cold and becomes ready after the first retrain.
+	Predictor *core.Predictor
+	// Sliding, when set, enables /v1/observe feedback and background
+	// hot-swap retraining. The Server's observe goroutine takes sole
+	// ownership of it.
+	Sliding *core.SlidingPredictor
+	// Schema and Machine configure the planner that turns incoming SQL
+	// into the plan feature vectors the model consumes.
+	Schema   *catalog.Schema
+	Machine  exec.Machine
+	DataSeed int64
+
+	// Window is how long the coalescer holds an open micro-batch for more
+	// arrivals. Zero still sweeps already-queued requests into the batch
+	// but never waits.
+	Window time.Duration
+	// MaxBatch caps a micro-batch (default 64).
+	MaxBatch int
+	// QueueCap bounds the pending-query queue; submissions beyond it are
+	// rejected with 429 (default 1024).
+	QueueCap int
+	// Timeout is the per-request deadline for /v1/predict (default 10s).
+	Timeout time.Duration
+	// MaxQueries caps the number of queries in one /v1/predict body
+	// (default 256).
+	MaxQueries int
+	// MaxBody caps the request body size in bytes (default 4 MiB).
+	MaxBody int64
+}
+
+// Server is the prediction service. Create with New, mount with Handler,
+// stop with Close.
+type Server struct {
+	cfg     Config
+	planCfg optimizer.Config
+
+	slot    slot
+	sliding *core.SlidingPredictor
+
+	mu     sync.RWMutex // guards closed + sends on queue/observeCh
+	closed bool
+
+	queue        chan *batchItem
+	coalesceDone chan struct{}
+
+	observeCh   chan *dataset.Query
+	observeDone chan struct{}
+	// windowSize mirrors the sliding window's occupancy so handlers can
+	// report it without touching the goroutine-owned SlidingPredictor.
+	windowSize atomic.Int64
+}
+
+// New validates the config, publishes the boot model (if any), and starts
+// the coalescer and observe goroutines.
+func New(cfg Config) (*Server, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("serve: config needs a schema")
+	}
+	if cfg.Predictor == nil && cfg.Sliding == nil {
+		return nil, fmt.Errorf("serve: config needs a boot predictor or a sliding predictor")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = 256
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 4 << 20
+	}
+	s := &Server{
+		cfg:          cfg,
+		planCfg:      optimizer.DefaultConfig(cfg.Machine.Processors),
+		sliding:      cfg.Sliding,
+		queue:        make(chan *batchItem, cfg.QueueCap),
+		coalesceDone: make(chan struct{}),
+	}
+	if cfg.Predictor != nil {
+		s.slot.swap(cfg.Predictor)
+	} else if cfg.Sliding.Ready() {
+		s.slot.swap(cfg.Sliding.Current())
+	}
+	go s.coalesceLoop()
+	if s.sliding != nil {
+		s.observeCh = make(chan *dataset.Query, cfg.QueueCap)
+		s.observeDone = make(chan struct{})
+		s.windowSize.Store(int64(s.sliding.WindowSize()))
+		go s.observeLoop()
+	}
+	return s, nil
+}
+
+// Close drains the server: new submissions are refused (503), in-flight
+// micro-batches and queued observations finish, and both background
+// goroutines exit before Close returns. It is the shutdown hook qpredictd
+// runs on SIGTERM, and it is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	if s.observeCh != nil {
+		close(s.observeCh)
+	}
+	s.mu.Unlock()
+	<-s.coalesceDone
+	if s.observeDone != nil {
+		<-s.observeDone
+	}
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/predict   predict one or many queries
+//	POST /v1/observe   feed executed queries to the retraining window
+//	GET  /v1/model     current model metadata
+//	GET  /healthz      process liveness
+//	GET  /readyz       readiness (a model is being served and not draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/observe", s.handleObserve)
+	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", s.handleReady)
+	return mux
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.closed
+	s.mu.RUnlock()
+	if draining {
+		writeError(w, api.CodeShuttingDown, "draining")
+		return
+	}
+	if s.slot.get() == nil {
+		writeError(w, api.CodeNotTrained, "no model trained yet")
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
+// planQuery turns SQL text into a planned query, classifying failures as
+// parse vs plan errors.
+func (s *Server) planQuery(sql string) (*dataset.Query, float64, *api.Error) {
+	ast, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, 0, &api.Error{Code: api.CodeParse, Message: err.Error()}
+	}
+	plan, err := optimizer.BuildPlan(ast, s.cfg.Schema, s.cfg.DataSeed, s.planCfg)
+	if err != nil {
+		return nil, 0, &api.Error{Code: api.CodePlan, Message: err.Error()}
+	}
+	return &dataset.Query{SQL: sql, AST: ast, Plan: plan}, plan.Cost, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, api.CodeMethod, "use POST")
+		return
+	}
+	predictRequests.Inc()
+	defer predictSeconds.Time()()
+
+	var req api.PredictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)).Decode(&req); err != nil {
+		writeError(w, api.CodeBadRequest, "decoding body: "+err.Error())
+		return
+	}
+	inputs := req.Inputs()
+	if len(inputs) == 0 {
+		writeError(w, api.CodeBadRequest, `no queries (use {"sql": ...} or {"queries": [...]})`)
+		return
+	}
+	if len(inputs) > s.cfg.MaxQueries {
+		writeError(w, api.CodeBadRequest,
+			fmt.Sprintf("%d queries exceeds the per-request limit of %d", len(inputs), s.cfg.MaxQueries))
+		return
+	}
+	if s.slot.get() == nil {
+		writeError(w, api.CodeNotTrained, "no model trained yet")
+		return
+	}
+
+	// Parse + plan first: malformed queries fail in place without entering
+	// the queue, so a batch mixing good and bad SQL still gets predictions
+	// for the good part.
+	results := make([]api.QueryResult, len(inputs))
+	var items []*batchItem
+	var itemIdx []int
+	for i, in := range inputs {
+		results[i].SQL = in.SQL
+		q, cost, apiErr := s.planQuery(in.SQL)
+		if apiErr != nil {
+			results[i].Error = apiErr
+			continue
+		}
+		results[i].OptimizerCost = cost
+		items = append(items, &batchItem{req: core.Request{Query: q}, done: make(chan struct{})})
+		itemIdx = append(itemIdx, i)
+	}
+	for _, it := range items {
+		if err := s.submit(it); err != nil {
+			// Reject the whole request: already-queued siblings are
+			// abandoned (the coalescer answers them to nobody).
+			e := apiError(err)
+			writeError(w, e.Code, e.Message)
+			return
+		}
+	}
+
+	deadline := time.NewTimer(s.cfg.Timeout)
+	defer deadline.Stop()
+	for k, it := range items {
+		select {
+		case <-it.done:
+			i := itemIdx[k]
+			if it.res.Err != nil {
+				results[i].Error = apiError(it.res.Err)
+				continue
+			}
+			m := api.MetricsFrom(it.res.Prediction.Metrics)
+			results[i].Metrics = &m
+			results[i].Category = it.res.Prediction.Category.String()
+			results[i].Confidence = it.res.Prediction.Confidence
+			results[i].Generation = it.gen
+		case <-deadline.C:
+			requestTimeouts.Inc()
+			writeError(w, api.CodeTimeout,
+				fmt.Sprintf("prediction did not complete within %v", s.cfg.Timeout))
+			return
+		case <-r.Context().Done():
+			requestTimeouts.Inc()
+			writeError(w, api.CodeTimeout, "client went away: "+r.Context().Err().Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, api.PredictResponse{
+		Version: api.Version,
+		Model:   s.modelInfo(),
+		Results: results,
+	})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, api.CodeMethod, "use POST")
+		return
+	}
+	observeRequests.Inc()
+	if s.sliding == nil {
+		writeError(w, api.CodeBadRequest, errNoFeedback.Error())
+		return
+	}
+	var req api.ObserveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)).Decode(&req); err != nil {
+		writeError(w, api.CodeBadRequest, "decoding body: "+err.Error())
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, api.CodeBadRequest, "no observations")
+		return
+	}
+	accepted := 0
+	for i, o := range req.Observations {
+		q, _, apiErr := s.planQuery(o.SQL)
+		if apiErr != nil {
+			writeError(w, apiErr.Code, fmt.Sprintf("observation %d: %s", i, apiErr.Message))
+			return
+		}
+		q.Metrics = o.Metrics.Exec()
+		q.Category = workload.Categorize(q.Metrics.ElapsedSec)
+		if err := s.enqueueObservation(q); err != nil {
+			e := apiError(err)
+			writeError(w, e.Code, fmt.Sprintf("observation %d: %s", i, e.Message))
+			return
+		}
+		accepted++
+	}
+	gen := int64(0)
+	if m := s.slot.get(); m != nil {
+		gen = m.gen
+	}
+	writeJSON(w, http.StatusAccepted, api.ObserveResponse{
+		Version:    api.Version,
+		Accepted:   accepted,
+		WindowSize: int(s.windowSize.Load()),
+		Generation: gen,
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, api.CodeMethod, "use GET")
+		return
+	}
+	info := s.modelInfo()
+	if info == nil {
+		writeError(w, api.CodeNotTrained, "no model trained yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Version string         `json:"version"`
+		Model   *api.ModelInfo `json:"model"`
+	}{api.Version, info})
+}
+
+// modelInfo snapshots the served model's metadata, or nil before boot.
+func (s *Server) modelInfo() *api.ModelInfo {
+	m := s.slot.get()
+	if m == nil {
+		return nil
+	}
+	opt := m.pred.Options()
+	return &api.ModelInfo{
+		Generation: m.gen,
+		TrainedOn:  m.pred.N(),
+		Features:   opt.Features.String(),
+		TwoStep:    opt.TwoStep,
+		// Generation 1 is the boot model; every later generation was a swap.
+		Swaps:      m.gen - 1,
+		WindowSize: int(s.windowSize.Load()),
+	}
+}

@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/workload"
+)
+
+// Shared fixture: one generated pool and one trained model (generation
+// dominates test time). The data seed is fixed so the server's planner and
+// the tests' local planner produce identical plans for the same SQL.
+const fixDataSeed = 77
+
+var (
+	fixOnce sync.Once
+	fixPool *dataset.Dataset
+	fixPred *core.Predictor
+	fixErr  error
+)
+
+func fixture(t testing.TB) (*dataset.Dataset, *core.Predictor) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixPool, fixErr = dataset.Generate(dataset.GenConfig{
+			Seed: 5, DataSeed: fixDataSeed, Machine: exec.Research4(),
+			Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: 160,
+		})
+		if fixErr != nil {
+			return
+		}
+		fixPred, fixErr = core.Train(fixPool.Queries[:120], core.DefaultOptions())
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixPool, fixPred
+}
+
+// baseConfig returns a ready-to-serve config around the fixture model.
+func baseConfig(t testing.TB) Config {
+	_, pred := fixture(t)
+	return Config{
+		Predictor: pred,
+		Schema:    catalog.TPCDS(1),
+		Machine:   exec.Research4(),
+		DataSeed:  fixDataSeed,
+		Timeout:   10 * time.Second,
+	}
+}
+
+// planLocal plans SQL exactly the way the server does.
+func planLocal(t testing.TB, sql string) *dataset.Query {
+	t.Helper()
+	ast, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", sql, err)
+	}
+	plan, err := optimizer.BuildPlan(ast, catalog.TPCDS(1), fixDataSeed, optimizer.DefaultConfig(exec.Research4().Processors))
+	if err != nil {
+		t.Fatalf("planning %q: %v", sql, err)
+	}
+	return &dataset.Query{SQL: sql, AST: ast, Plan: plan}
+}
+
+func postJSON(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func decodePredict(t testing.TB, raw []byte) api.PredictResponse {
+	t.Helper()
+	var pr api.PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	return pr
+}
+
+func TestPredictSingle(t *testing.T) {
+	pool, pred := fixture(t)
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sql := pool.Queries[130].SQL
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	pr := decodePredict(t, raw)
+	if pr.Version != api.Version {
+		t.Errorf("version %q, want %q", pr.Version, api.Version)
+	}
+	if pr.Model == nil || pr.Model.Generation != 1 || pr.Model.TrainedOn != pred.N() {
+		t.Errorf("model info %+v", pr.Model)
+	}
+	if len(pr.Results) != 1 {
+		t.Fatalf("%d results, want 1", len(pr.Results))
+	}
+	r := pr.Results[0]
+	if r.Error != nil {
+		t.Fatalf("unexpected error: %+v", r.Error)
+	}
+	if r.Metrics == nil || r.Category == "" || !(r.Confidence > 0 && r.Confidence <= 1) {
+		t.Fatalf("incomplete result: %s", raw)
+	}
+	if r.Generation != 1 {
+		t.Errorf("generation %d, want 1", r.Generation)
+	}
+
+	// The served numbers are bit-identical to a direct in-process predict,
+	// and the optimizer baseline rides along.
+	q := planLocal(t, sql)
+	want, err := pred.PredictQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.Exec() != want.Metrics {
+		t.Errorf("served metrics %+v, direct %+v", r.Metrics.Exec(), want.Metrics)
+	}
+	if r.Confidence != want.Confidence || r.Category != want.Category.String() {
+		t.Errorf("served (conf %v, cat %q), direct (conf %v, cat %q)",
+			r.Confidence, r.Category, want.Confidence, want.Category)
+	}
+	if r.OptimizerCost != q.Plan.Cost {
+		t.Errorf("optimizer cost %v, plan cost %v", r.OptimizerCost, q.Plan.Cost)
+	}
+
+	// The six metric names appear verbatim on the wire.
+	for _, name := range exec.MetricNames {
+		if !strings.Contains(string(raw), fmt.Sprintf("%q", name)) {
+			t.Errorf("response is missing metric %q: %s", name, raw)
+		}
+	}
+}
+
+func TestPredictBatchMixedResults(t *testing.T) {
+	pool, _ := fixture(t)
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := api.PredictRequest{Queries: []api.QueryInput{
+		{SQL: pool.Queries[121].SQL},
+		{SQL: "SELEC nonsense FROM ("},
+		{SQL: "SELECT COUNT(*) FROM no_such_table"},
+		{SQL: pool.Queries[122].SQL},
+	}}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	pr := decodePredict(t, raw)
+	if len(pr.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(pr.Results))
+	}
+	if pr.Results[0].Error != nil || pr.Results[0].Metrics == nil {
+		t.Errorf("result 0 should have predicted: %+v", pr.Results[0])
+	}
+	if pr.Results[1].Error == nil || pr.Results[1].Error.Code != api.CodeParse {
+		t.Errorf("result 1 error = %+v, want %s", pr.Results[1].Error, api.CodeParse)
+	}
+	if pr.Results[2].Error == nil || pr.Results[2].Error.Code != api.CodePlan {
+		t.Errorf("result 2 error = %+v, want %s", pr.Results[2].Error, api.CodePlan)
+	}
+	if pr.Results[3].Error != nil || pr.Results[3].Metrics == nil {
+		t.Errorf("result 3 should have predicted: %+v", pr.Results[3])
+	}
+}
+
+func TestPredictRequestValidation(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.MaxQueries = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	check := func(status int, code string, raw []byte) {
+		t.Helper()
+		var er api.ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
+		if er.Error.Code != code {
+			t.Errorf("code %q, want %q (%s)", er.Error.Code, code, raw)
+		}
+		if er.Version != api.Version {
+			t.Errorf("error body missing version: %s", raw)
+		}
+	}
+
+	// Not JSON.
+	resp, err := http.Post(ts.URL+"/v1/predict", "text/plain", strings.NewReader("SELECT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	check(resp.StatusCode, api.CodeBadRequest, raw)
+
+	// No queries.
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp2.StatusCode)
+	}
+	check(resp2.StatusCode, api.CodeBadRequest, raw2)
+
+	// Too many queries.
+	resp3, raw3 := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{Queries: []api.QueryInput{
+		{SQL: "a"}, {SQL: "b"}, {SQL: "c"},
+	}})
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp3.StatusCode)
+	}
+	check(resp3.StatusCode, api.CodeBadRequest, raw3)
+
+	// Wrong method.
+	resp4, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw4 := readAll(t, resp4)
+	if resp4.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405: %s", resp4.StatusCode, raw4)
+	}
+	check(resp4.StatusCode, api.CodeMethod, raw4)
+}
+
+func readAll(t testing.TB, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.Bytes()
+}
+
+// TestOverload drives the bounded-queue 429 path deterministically: the
+// server is assembled by hand with a full queue and no coalescer draining
+// it, so the submit must shed.
+func TestOverload(t *testing.T) {
+	_, pred := fixture(t)
+	s := &Server{
+		cfg: Config{
+			Schema: catalog.TPCDS(1), Machine: exec.Research4(), DataSeed: fixDataSeed,
+			MaxBatch: 8, QueueCap: 1, Timeout: time.Second, MaxQueries: 16, MaxBody: 1 << 20,
+		},
+		planCfg:      optimizer.DefaultConfig(exec.Research4().Processors),
+		queue:        make(chan *batchItem, 1),
+		coalesceDone: make(chan struct{}),
+	}
+	s.slot.swap(pred)
+	s.queue <- &batchItem{done: make(chan struct{})} // queue now full
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pool, _ := fixture(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{SQL: pool.Queries[121].SQL})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != api.CodeOverloaded {
+		t.Errorf("code %q, want %q", er.Error.Code, api.CodeOverloaded)
+	}
+}
+
+// TestPredictTimeout drives the per-request deadline deterministically:
+// the hand-assembled server has queue capacity but nothing answering, so
+// the handler's wait must expire.
+func TestPredictTimeout(t *testing.T) {
+	_, pred := fixture(t)
+	s := &Server{
+		cfg: Config{
+			Schema: catalog.TPCDS(1), Machine: exec.Research4(), DataSeed: fixDataSeed,
+			MaxBatch: 8, QueueCap: 16, Timeout: 50 * time.Millisecond, MaxQueries: 16, MaxBody: 1 << 20,
+		},
+		planCfg:      optimizer.DefaultConfig(exec.Research4().Processors),
+		queue:        make(chan *batchItem, 16),
+		coalesceDone: make(chan struct{}),
+	}
+	s.slot.swap(pred)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pool, _ := fixture(t)
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{SQL: pool.Queries[121].SQL})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, raw)
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != api.CodeTimeout {
+		t.Errorf("code %q, want %q", er.Error.Code, api.CodeTimeout)
+	}
+}
+
+// TestColdStartAndReadiness boots the daemon with no model — only a
+// sliding window — and watches it become ready after enough feedback.
+func TestColdStartAndReadiness(t *testing.T) {
+	pool, _ := fixture(t)
+	sliding, err := core.NewSliding(30, 10, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t)
+	cfg.Predictor = nil
+	cfg.Sliding = sliding
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Cold: live but not ready, predicts refused with 503.
+	if resp, _ := http.Get(ts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold readyz %d, want 503", resp.StatusCode)
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{SQL: pool.Queries[121].SQL})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold predict %d, want 503: %s", resp.StatusCode, raw)
+	}
+
+	// Feed ten executed queries; the background retrain must swap in a
+	// first model and flip readiness.
+	var obs []api.Observation
+	for _, q := range pool.Queries[:10] {
+		obs = append(obs, api.Observation{SQL: q.SQL, Metrics: api.MetricsFrom(q.Metrics)})
+	}
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/observe", api.ObserveRequest{Observations: obs})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("observe %d, want 202: %s", resp2.StatusCode, raw2)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if resp, _ := http.Get(ts.URL + "/readyz"); resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready after observations")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp3, raw3 := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{SQL: pool.Queries[121].SQL})
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("warm predict %d: %s", resp3.StatusCode, raw3)
+	}
+	pr := decodePredict(t, raw3)
+	if pr.Model == nil || pr.Model.TrainedOn != 10 {
+		t.Errorf("model info %+v, want trained_on 10", pr.Model)
+	}
+}
+
+func TestModelEndpointAndDrain(t *testing.T) {
+	pool, pred := fixture(t)
+	s, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model %d: %s", resp.StatusCode, raw)
+	}
+	var body struct {
+		Version string         `json:"version"`
+		Model   *api.ModelInfo `json:"model"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Version != api.Version || body.Model == nil ||
+		body.Model.TrainedOn != pred.N() || body.Model.Generation != 1 || body.Model.Swaps != 0 {
+		t.Errorf("model body %s", raw)
+	}
+
+	// Drain: new work is refused, Close is idempotent, readyz flips.
+	s.Close()
+	s.Close()
+	resp2, raw2 := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{SQL: pool.Queries[121].SQL})
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining predict %d, want 503: %s", resp2.StatusCode, raw2)
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(raw2, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != api.CodeShuttingDown {
+		t.Errorf("code %q, want %q", er.Error.Code, api.CodeShuttingDown)
+	}
+	if resp, _ := http.Get(ts.URL + "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// servedModel is one immutable model plus its generation tag. A trained
+// core.Predictor is never mutated after Train returns, so readers may use
+// it lock-free for as long as they hold the pointer; a hot swap only
+// replaces which pointer new readers pick up.
+type servedModel struct {
+	pred *core.Predictor
+	gen  int64
+}
+
+// slot is the atomically hot-swappable model holder: reads are a single
+// atomic pointer load on the predict path, swaps publish a freshly trained
+// model without blocking a single in-flight prediction.
+type slot struct {
+	cur  atomic.Pointer[servedModel]
+	gens atomic.Int64
+}
+
+// get returns the current model, or nil before the first swap.
+func (s *slot) get() *servedModel { return s.cur.Load() }
+
+// swap publishes a new model and returns its generation (1 for the boot
+// model).
+func (s *slot) swap(p *core.Predictor) int64 {
+	gen := s.gens.Add(1)
+	s.cur.Store(&servedModel{pred: p, gen: gen})
+	return gen
+}
+
+// observeLoop is the single goroutine that owns the SlidingPredictor.
+// Observations stream in from /v1/observe through a bounded channel; the
+// sliding window's periodic retrains happen here, off the request path,
+// and each completed retrain is atomically swapped into the model slot.
+// Mirrored atomics (windowSize, retrains) let handlers report window state
+// without touching the goroutine-owned SlidingPredictor.
+func (s *Server) observeLoop() {
+	defer close(s.observeDone)
+	for q := range s.observeCh {
+		before := s.sliding.Retrains()
+		if err := s.sliding.Observe(q); err != nil {
+			// A failed retrain (for example a degenerate window) keeps the
+			// previous model serving; the observation itself is retained.
+			retrainErrors.Inc()
+		}
+		s.windowSize.Store(int64(s.sliding.WindowSize()))
+		if s.sliding.Retrains() != before {
+			s.slot.swap(s.sliding.Current())
+			modelSwaps.Inc()
+		}
+		observeQueueDepth.Set(int64(len(s.observeCh)))
+	}
+}
+
+// enqueueObservation hands one executed query to the observe loop without
+// blocking: a full feedback queue sheds load (the caller reports 429)
+// rather than stalling the write path.
+func (s *Server) enqueueObservation(q *dataset.Query) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errShuttingDown
+	}
+	if s.observeCh == nil {
+		return errNoFeedback
+	}
+	select {
+	case s.observeCh <- q:
+		observeQueueDepth.Set(int64(len(s.observeCh)))
+		return nil
+	default:
+		rejectedOverload.Inc()
+		return errOverloaded
+	}
+}

@@ -66,6 +66,15 @@ const (
 	SQLFeatures  = core.SQLFeatures
 )
 
+// Request describes one prediction to make (a planned query or a raw
+// feature vector); Result is its outcome. They are the canonical predict
+// surface — Predictor.Predict consumes Requests, and the serving layer
+// (internal/serve, cmd/qpredictd) speaks the same pair.
+type Request = core.Request
+
+// Result pairs a Request's Prediction with its error.
+type Result = core.Result
+
 // Metrics is the six-metric performance vector.
 type Metrics = exec.Metrics
 
