@@ -60,6 +60,14 @@ type Options struct {
 	// type-specific model is built (smaller types fall back to the global
 	// model). Zero selects a default.
 	MinTypeModel int
+	// Incremental enables maintained-kernel incremental retraining in the
+	// sliding predictor: steady-state window slides patch the kernel
+	// matrices in O(N·d) and recompute only the top-rank eigenpairs with
+	// warm starts, instead of the full O(N²·d) rebuild + O(N³) dense solve.
+	// DefaultOptions turns it on; it is ignored (always full) when TwoStep
+	// is set, since type-specific sub-models need full per-type trainings
+	// anyway. One-shot Train is unaffected.
+	Incremental bool
 }
 
 // DefaultOptions returns the paper's final configuration: plan features,
@@ -67,9 +75,10 @@ type Options struct {
 // neighbors with equal weighting, one-model prediction.
 func DefaultOptions() Options {
 	return Options{
-		Features: PlanFeatures,
-		KCCA:     kcca.DefaultOptions(),
-		KNN:      knn.DefaultOptions(),
+		Features:    PlanFeatures,
+		KCCA:        kcca.DefaultOptions(),
+		KNN:         knn.DefaultOptions(),
+		Incremental: true,
 	}
 }
 
@@ -103,6 +112,11 @@ type Predictor struct {
 	// Two-step: per-category sub-models (nil entries fall back to the
 	// global model).
 	sub map[workload.Category]*Predictor
+
+	// cache memoizes feature vector → (projection, max kernel) for this
+	// model generation; it dies with the Predictor, so a hot-swap to a new
+	// generation implicitly invalidates every cached projection.
+	cache *projCache
 }
 
 // Train/predict metrics: latency distributions for the public entry points
@@ -128,6 +142,57 @@ func queryFeature(q *dataset.Query, kind FeatureKind) ([]float64, error) {
 	}
 }
 
+// normalizeOptions fills defaulted option fields; Train and the sliding
+// predictor's training paths share it so every Predictor sees identical
+// resolved options.
+func normalizeOptions(opt Options) Options {
+	if opt.KNN.K <= 0 {
+		opt.KNN = knn.DefaultOptions()
+	}
+	if opt.MinTypeModel <= 0 {
+		opt.MinTypeModel = 12
+	}
+	return opt
+}
+
+// extractFeatures builds the KCCA training inputs from executed queries:
+// query-side features x, performance kernel features y, raw metric rows for
+// neighbor combination, and the observed categories — all row-aligned with
+// the input order.
+func extractFeatures(train []*dataset.Query, kind FeatureKind) (x, y *linalg.Matrix, rawRows [][]float64, cats []workload.Category, err error) {
+	xRows := make([][]float64, len(train))
+	yRows := make([][]float64, len(train))
+	rawRows = make([][]float64, len(train))
+	cats = make([]workload.Category, len(train))
+	for i, q := range train {
+		f, ferr := queryFeature(q, kind)
+		if ferr != nil {
+			return nil, nil, nil, nil, fmt.Errorf("core: query %d: %w", q.ID, ferr)
+		}
+		xRows[i] = f
+		yRows[i] = features.PerfKernelVector(q.Metrics)
+		rawRows[i] = features.PerfRawVector(q.Metrics)
+		cats[i] = q.Category
+	}
+	return features.Matrices(xRows), features.Matrices(yRows), rawRows, cats, nil
+}
+
+// newPredictor assembles a Predictor around an already-trained KCCA model:
+// the raw metric matrix and categories (row-aligned with the model),
+// calibrated confidence scales, and a fresh projection cache for this model
+// generation. Shared by one-shot Train and both sliding retrain paths.
+func newPredictor(model *kcca.Model, rawRows [][]float64, cats []workload.Category, opt Options) *Predictor {
+	p := &Predictor{
+		opt:     opt,
+		model:   model,
+		perfRaw: features.Matrices(rawRows),
+		cats:    cats,
+		cache:   newProjCache(0),
+	}
+	p.confScale, p.kernelScale = p.referenceScales()
+	return p
+}
+
 // Train fits a predictor on executed training queries.
 func Train(train []*dataset.Query, opt Options) (*Predictor, error) {
 	defer obs.Span("core.train")()
@@ -135,41 +200,17 @@ func Train(train []*dataset.Query, opt Options) (*Predictor, error) {
 	if len(train) < 5 {
 		return nil, fmt.Errorf("%w: need at least 5, have %d", ErrTooFewQueries, len(train))
 	}
-	if opt.KNN.K <= 0 {
-		opt.KNN = knn.DefaultOptions()
-	}
-	if opt.MinTypeModel <= 0 {
-		opt.MinTypeModel = 12
-	}
+	opt = normalizeOptions(opt)
 
-	xRows := make([][]float64, len(train))
-	yRows := make([][]float64, len(train))
-	rawRows := make([][]float64, len(train))
-	cats := make([]workload.Category, len(train))
-	for i, q := range train {
-		f, err := queryFeature(q, opt.Features)
-		if err != nil {
-			return nil, fmt.Errorf("core: query %d: %w", q.ID, err)
-		}
-		xRows[i] = f
-		yRows[i] = features.PerfKernelVector(q.Metrics)
-		rawRows[i] = features.PerfRawVector(q.Metrics)
-		cats[i] = q.Category
+	x, y, rawRows, cats, err := extractFeatures(train, opt.Features)
+	if err != nil {
+		return nil, err
 	}
-	x := features.Matrices(xRows)
-	y := features.Matrices(yRows)
-
 	model, err := kcca.Train(x, y, opt.KCCA)
 	if err != nil {
 		return nil, fmt.Errorf("core: KCCA training: %w", err)
 	}
-	p := &Predictor{
-		opt:     opt,
-		model:   model,
-		perfRaw: features.Matrices(rawRows),
-		cats:    cats,
-	}
-	p.confScale, p.kernelScale = p.referenceScales()
+	p := newPredictor(model, rawRows, cats, opt)
 
 	if opt.TwoStep {
 		p.sub = map[workload.Category]*Predictor{}
@@ -301,7 +342,15 @@ func (p *Predictor) PredictVector(f []float64) (*Prediction, error) {
 func (p *Predictor) predictVector(f []float64) (*Prediction, error) {
 	defer predictSeconds.Time()()
 	predictCount.Inc()
-	proj := p.model.ProjectQuery(f)
+	// The projection and the max kernel similarity both come from the same
+	// O(N·d) kernel cross vector, computed once — and skipped entirely when
+	// this generation's cache has seen the feature vector before (repeated
+	// plans in template workloads).
+	proj, maxK, ok := p.cache.get(f)
+	if !ok {
+		proj, maxK = p.model.ProjectQueryKernel(f)
+		p.cache.put(f, proj, maxK)
+	}
 	nbs, err := knn.Nearest(p.model.QueryProj, proj, p.opt.KNN.K, p.opt.KNN.Distance)
 	if err != nil {
 		return nil, err
@@ -317,17 +366,20 @@ func (p *Predictor) predictVector(f []float64) (*Prediction, error) {
 			}
 		}
 		// Fall back to the global model but keep the voted category.
-		pred := p.combine(f, nbs)
+		pred := p.combine(maxK, nbs)
 		pred.Category = cat
 		return pred, nil
 	}
 
-	pred := p.combine(f, nbs)
+	pred := p.combine(maxK, nbs)
 	pred.Category = workload.Categorize(pred.Metrics.ElapsedSec)
 	return pred, nil
 }
 
-func (p *Predictor) combine(f []float64, nbs []knn.Neighbor) *Prediction {
+// combine merges the neighbors' raw metrics and scores confidence. maxK is
+// the query's largest raw kernel similarity against the training set,
+// already computed by the projection step (or served from the cache).
+func (p *Predictor) combine(maxK float64, nbs []knn.Neighbor) *Prediction {
 	vals := knn.Combine(p.perfRaw, nbs, p.opt.KNN.Weighting)
 	// Confidence combines projection-space neighbor distance with the raw
 	// kernel similarity: a query far outside the training distribution has
@@ -335,7 +387,7 @@ func (p *Predictor) combine(f []float64, nbs []knn.Neighbor) *Prediction {
 	// meaningless even when they happen to land near a cluster. The kernel
 	// factor is calibrated against the training set's own leave-one-out
 	// similarities, so ordinary queries score near 1.
-	kfac := p.model.MaxKernel(f) / p.kernelScale
+	kfac := maxK / p.kernelScale
 	if kfac > 1 {
 		kfac = 1
 	}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestProjCacheBasic(t *testing.T) {
+	c := newProjCache(4)
+	f := []float64{1, 2, 3}
+	if _, _, ok := c.get(f); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(f, []float64{9, 8}, 0.5)
+	proj, maxK, ok := c.get(f)
+	if !ok || maxK != 0.5 || len(proj) != 2 || proj[0] != 9 {
+		t.Fatalf("get = %v, %v, %v", proj, maxK, ok)
+	}
+	// A different vector of the same length must miss.
+	if _, _, ok := c.get([]float64{1, 2, 4}); ok {
+		t.Fatal("hit for a vector that was never cached")
+	}
+}
+
+func TestProjCacheLRUEviction(t *testing.T) {
+	c := newProjCache(3)
+	vecs := [][]float64{{1}, {2}, {3}, {4}}
+	for i, f := range vecs[:3] {
+		c.put(f, []float64{float64(i)}, 1)
+	}
+	// Touch {1} so {2} becomes the eviction victim.
+	if _, _, ok := c.get(vecs[0]); !ok {
+		t.Fatal("expected hit for {1}")
+	}
+	c.put(vecs[3], []float64{3}, 1)
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, _, ok := c.get(vecs[1]); ok {
+		t.Fatal("{2} should have been evicted as least recently used")
+	}
+	for _, f := range [][]float64{vecs[0], vecs[2], vecs[3]} {
+		if _, _, ok := c.get(f); !ok {
+			t.Fatalf("expected %v to survive eviction", f)
+		}
+	}
+}
+
+func TestProjCacheNilSafe(t *testing.T) {
+	var c *projCache
+	c.put([]float64{1}, []float64{2}, 3) // must not panic
+	if _, _, ok := c.get([]float64{1}); ok {
+		t.Fatal("nil cache cannot hit")
+	}
+}
+
+// TestPredictCacheEquivalence checks the user-visible contract: repeating a
+// prediction must return identical results served from the cache, and the
+// hit counter must move.
+func TestPredictCacheEquivalence(t *testing.T) {
+	train, test := trainTest(t)
+	p, err := Train(train, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := test[0]
+	first, err := p.PredictQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := projHits.Value()
+	second, err := p.PredictQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if projHits.Value() == hitsBefore {
+		t.Error("repeated prediction did not hit the projection cache")
+	}
+	if first.Metrics != second.Metrics || first.Confidence != second.Confidence ||
+		first.Category != second.Category {
+		t.Errorf("cached prediction differs: %+v vs %+v", first, second)
+	}
+	if len(first.Neighbors) != len(second.Neighbors) {
+		t.Fatalf("neighbor counts differ: %d vs %d", len(first.Neighbors), len(second.Neighbors))
+	}
+	for i := range first.Neighbors {
+		if first.Neighbors[i] != second.Neighbors[i] {
+			t.Errorf("neighbor %d differs: %+v vs %+v", i, first.Neighbors[i], second.Neighbors[i])
+		}
+	}
+}
+
+// TestRetrainSwapsCacheGeneration checks that a retrain publishes a new
+// predictor with its own (empty) cache — stale projections from the old
+// model generation can never serve against the new one.
+func TestRetrainSwapsCacheGeneration(t *testing.T) {
+	ds := pool(t)
+	s, err := NewSliding(60, 30, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries[:30] {
+		if err := s.Observe(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen1 := s.Current()
+	if _, err := s.PredictQuery(ds.Queries[100]); err != nil {
+		t.Fatal(err)
+	}
+	if gen1.cache.len() == 0 {
+		t.Fatal("prediction did not populate the generation's cache")
+	}
+	for _, q := range ds.Queries[30:60] {
+		if err := s.Observe(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen2 := s.Current()
+	if gen2 == gen1 {
+		t.Fatal("retrain did not publish a new predictor generation")
+	}
+	if gen2.cache == gen1.cache {
+		t.Fatal("new generation shares the old generation's projection cache")
+	}
+	if gen2.cache.len() != 0 {
+		t.Errorf("new generation's cache should start empty, has %d entries", gen2.cache.len())
+	}
+}
+
+// BenchmarkPredictVector measures single-query prediction with the
+// projection cache hitting (repeated plan) versus disabled (every call pays
+// the O(N·d) kernel cross vector). Feeds BENCH_retrain.json.
+func BenchmarkPredictVector(b *testing.B) {
+	train, test := trainTest(b)
+	p, err := Train(train, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := queryFeature(test[0], PlanFeatures)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cached", func(b *testing.B) {
+		if _, err := p.PredictVector(f); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.PredictVector(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		bare := *p
+		bare.cache = nil
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bare.PredictVector(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -113,6 +113,7 @@ func fromWire(wire *predictorWire) (*Predictor, error) {
 		cats:        wire.Cats,
 		confScale:   wire.ConfScale,
 		kernelScale: wire.KernelScale,
+		cache:       newProjCache(0),
 	}
 	if wire.Subs != nil {
 		p.sub = map[workload.Category]*Predictor{}

@@ -127,8 +127,8 @@ func TestSlidingRingMatchesNaive(t *testing.T) {
 	}
 	// The trained model must see the window oldest→newest; its size is the
 	// window size at the last retrain.
-	if !s.Ready() || s.current.N() != capacity {
-		t.Fatalf("model N = %d, want %d", s.current.N(), capacity)
+	if !s.Ready() || s.Current().N() != capacity {
+		t.Fatalf("model N = %d, want %d", s.Current().N(), capacity)
 	}
 }
 
@@ -154,8 +154,8 @@ func TestSlidingAdaptsToRecentWorkload(t *testing.T) {
 		t.Fatal("not ready")
 	}
 	// The trained model's size equals the window, not the full history.
-	if s.current.N() != 80 {
-		t.Errorf("model N = %d, want 80", s.current.N())
+	if s.Current().N() != 80 {
+		t.Errorf("model N = %d, want 80", s.Current().N())
 	}
 }
 

@@ -1,0 +1,247 @@
+package kcca
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Retrain-path metrics: how many sliding-window retrains took the full
+// O(N³) dense path versus the incremental top-rank path. The τ-drift guard
+// test asserts on these.
+var (
+	retrainFull = obs.GetCounter("kcca.retrain.full")
+	retrainInc  = obs.GetCounter("kcca.retrain.incremental")
+)
+
+// ErrNeedFull means the incremental retrain path cannot serve this retrain
+// — the window grew, the τ-drift guard fired, there is no warm state yet, or
+// the iterative eigensolver failed to converge — and the caller must run
+// TrainFull instead. Matched with errors.Is.
+var ErrNeedFull = errors.New("kcca: incremental retrain needs a full rebuild")
+
+// Incremental is the sliding-window KCCA retrainer. It owns maintained
+// kernel state for both views (query features X, performance features Y),
+// keyed to the window's ring-buffer slots: each window slide replaces one
+// row of each kernel matrix in O(N·d) (kernels.Maintained), and each retrain
+// computes only the top-rank eigenpairs with the previous retrain's
+// eigenvectors as a warm start (linalg.TopEigenIterative) instead of the
+// dense O(N³) solve. Everything downstream of the eigensolve — the
+// significance threshold, CCA fit, projections — is byte-for-byte the same
+// code the full path runs.
+//
+// Equivalence discipline: while τ stays frozen, the maintained kernel
+// matrices are bit-identical to from-scratch builds, so an incremental
+// retrain differs from a full retrain only through the eigensolver's
+// convergence tolerance (documented in the equivalence tests as a relative
+// prediction tolerance of ~1e-6). When the τ-drift guard fires, the caller
+// runs TrainFull, which is exactly Train — the results match bit-for-bit.
+//
+// Incremental is not safe for concurrent use: the owner (core's sliding
+// predictor) serializes Append/Replace/Retrain under its mutex. TrainFull is
+// a pure function of its arguments and may run outside that lock.
+type Incremental struct {
+	opt      Options
+	capacity int
+
+	mx, my       *kernels.Maintained
+	warmX, warmY *linalg.Matrix
+	stale        bool
+}
+
+// Seed is the maintained state produced by a full retrain, handed back via
+// Install once the caller has confirmed the window did not move during the
+// (unlocked) full train.
+type Seed struct {
+	mx, my       *kernels.Maintained
+	warmX, warmY *linalg.Matrix
+}
+
+// NewIncremental returns an empty incremental retrainer for a sliding
+// window of at most capacity rows.
+func NewIncremental(opt Options, capacity int) *Incremental {
+	return &Incremental{opt: applyDefaults(opt), capacity: capacity}
+}
+
+// N returns the current window row count.
+func (inc *Incremental) N() int {
+	if inc.mx == nil {
+		return 0
+	}
+	return inc.mx.N()
+}
+
+// Append adds a row pair during the window's grow phase. Kernel state stays
+// unsynchronized until the next full retrain (growth changes every row's
+// contribution to the scale heuristic anyway).
+func (inc *Incremental) Append(xRow, yRow []float64) {
+	if inc.mx == nil {
+		inc.mx = kernels.NewMaintained(len(xRow), inc.capacity, inc.opt.TauFracX, inc.opt.TauX)
+		inc.my = kernels.NewMaintained(len(yRow), inc.capacity, inc.opt.TauFracY, inc.opt.TauY)
+	}
+	inc.mx.Append(xRow)
+	inc.my.Append(yRow)
+}
+
+// Replace swaps the row pair at the given ring-buffer slot — the O(N·d)
+// steady-state window slide.
+func (inc *Incremental) Replace(slot int, xRow, yRow []float64) {
+	inc.mx.Replace(slot, xRow)
+	inc.my.Replace(slot, yRow)
+}
+
+// Invalidate marks the maintained state stale, forcing the next retrain
+// down the full path. The sliding predictor calls it when the window moved
+// while an unlocked full train was in flight (the seed no longer matches).
+func (inc *Incremental) Invalidate() { inc.stale = true }
+
+// NeedsFull reports whether the next retrain must take the full path:
+// no state yet, stale or unsynchronized state (window grew), too few rows
+// for the iteration to pay off, no warm eigenvectors, or the τ-drift guard
+// firing on either view.
+func (inc *Incremental) NeedsFull() bool {
+	if inc.mx == nil || inc.stale || !inc.mx.Synced() || !inc.my.Synced() {
+		return true
+	}
+	n := inc.mx.N()
+	if n < 5 || inc.warmX == nil || !iterWorthwhile(n, resolveRank(n, inc.opt)) {
+		return true
+	}
+	return inc.mx.Drifted(inc.opt.TauDriftTol) || inc.my.Drifted(inc.opt.TauDriftTol)
+}
+
+// Retrain runs the incremental retrain: top-rank eigensolve of both
+// maintained (implicitly centered) kernels with warm starts, then the
+// shared CCA/projection tail. It returns an error matching ErrNeedFull when
+// the incremental path cannot serve (including eigensolver non-convergence,
+// which surfaces here rather than as a wrong answer); the caller then runs
+// TrainFull.
+func (inc *Incremental) Retrain() (*Model, error) {
+	if inc.NeedsFull() {
+		return nil, ErrNeedFull
+	}
+	defer obs.Span("kcca.retrain.incremental")()
+	n := inc.mx.N()
+	rank := resolveRank(n, inc.opt)
+
+	var valsX, valsY []float64
+	var vecsX, vecsY *linalg.Matrix
+	var errX, errY error
+	stopEigen := obs.Span("kcca.train.eigen")
+	parallel.Do(
+		func() {
+			valsX, vecsX, errX = linalg.TopEigenIterative(n, rank, inc.mx.ApplyCentered,
+				linalg.EigenOptions{Warm: inc.warmX, DropBelow: keepFrac})
+		},
+		func() {
+			valsY, vecsY, errY = linalg.TopEigenIterative(n, rank, inc.my.ApplyCentered,
+				linalg.EigenOptions{Warm: inc.warmY, DropBelow: keepFrac})
+		},
+	)
+	stopEigen()
+	for _, err := range []error{errX, errY} {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, linalg.ErrNotConverged) {
+			return nil, fmt.Errorf("%w: %v", ErrNeedFull, err)
+		}
+		return nil, err
+	}
+
+	phiX, ux, lamx, err := phiFromEigen(n, valsX, vecsX)
+	if err != nil {
+		return nil, err
+	}
+	phiY, _, _, err := phiFromEigen(n, valsY, vecsY)
+	if err != nil {
+		return nil, err
+	}
+	rowMeansX, grandX := inc.mx.RowMeans()
+	model, err := fitModel(inc.mx.XClone(), inc.mx.Tau, inc.my.Tau, rowMeansX, grandX,
+		phiX, ux, lamx, phiY, inc.opt)
+	if err != nil {
+		return nil, err
+	}
+	inc.warmX, inc.warmY = vecsX, vecsY
+	retrainInc.Inc()
+	return model, nil
+}
+
+// TrainFull is the full retrain: it trains exactly like Train (bit-identical
+// model) and additionally builds fresh maintained kernel state seeded with
+// the resulting eigenvectors, for the caller to Install. It reads only the
+// retrainer's immutable configuration, so it is safe to run on a window
+// snapshot outside the owner's lock while observations keep arriving.
+func (inc *Incremental) TrainFull(x, y *linalg.Matrix) (*Model, *Seed, error) {
+	defer obs.Span("kcca.train")()
+	if x.Rows != y.Rows {
+		return nil, nil, ErrRowMismatch
+	}
+	n := x.Rows
+	if n < 5 {
+		return nil, nil, ErrTooFew
+	}
+	opt := inc.opt
+	mx := maintainedFrom(x, inc.capacity, opt.TauFracX, opt.TauX)
+	my := maintainedFrom(y, inc.capacity, opt.TauFracY, opt.TauY)
+
+	var kxC, kyC *linalg.Matrix
+	var rowMeansX []float64
+	var grandX float64
+	stopKernel := obs.Span("kcca.train.kernel")
+	parallel.Do(
+		func() { mx.Rebuild(); kxC, rowMeansX, grandX = kernels.Center(mx.K) },
+		func() { my.Rebuild(); kyC, _, _ = kernels.Center(my.K) },
+	)
+	stopKernel()
+
+	rank := resolveRank(n, opt)
+	var phiX, phiY, ux, uy *linalg.Matrix
+	var lamx []float64
+	var errX, errY error
+	stopEigen := obs.Span("kcca.train.eigen")
+	parallel.Do(
+		func() { phiX, ux, lamx, errX = kernelPCA(kxC, rank) },
+		func() { phiY, uy, _, errY = kernelPCA(kyC, rank) },
+	)
+	stopEigen()
+	if errX != nil {
+		return nil, nil, errX
+	}
+	if errY != nil {
+		return nil, nil, errY
+	}
+
+	model, err := fitModel(x.Clone(), mx.Tau, my.Tau, rowMeansX, grandX, phiX, ux, lamx, phiY, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	retrainFull.Inc()
+	return model, &Seed{mx: mx, my: my, warmX: ux, warmY: uy}, nil
+}
+
+// Install adopts the maintained state a TrainFull produced. The caller must
+// have verified the window did not move since the snapshot TrainFull ran on
+// (otherwise Invalidate, not Install).
+func (inc *Incremental) Install(s *Seed) {
+	inc.mx, inc.my = s.mx, s.my
+	inc.warmX, inc.warmY = s.warmX, s.warmY
+	inc.stale = false
+}
+
+// maintainedFrom builds maintained kernel state over a snapshot's rows.
+func maintainedFrom(m *linalg.Matrix, capacity int, frac, tauOverride float64) *kernels.Maintained {
+	if capacity < m.Rows {
+		capacity = m.Rows
+	}
+	mm := kernels.NewMaintained(m.Cols, capacity, frac, tauOverride)
+	for i := 0; i < m.Rows; i++ {
+		mm.Append(m.Row(i))
+	}
+	return mm
+}

@@ -40,6 +40,19 @@ type Options struct {
 	Dims int
 	// Reg is the CCA ridge regularization; 0 selects a default.
 	Reg float64
+	// Lanczos selects the iterative top-rank eigensolver (block subspace
+	// iteration, linalg.TopEigenIterative) for the kernel-PCA step instead
+	// of the dense O(N³) tred2/tql2 solve. Off by default for one-shot
+	// training; the sliding predictor's Incremental retrainer always uses
+	// the iterative solver with warm starts, independent of this switch.
+	// Falls back to the dense solver when the iteration does not converge
+	// or the requested rank is too large a fraction of N to pay off.
+	Lanczos bool
+	// TauDriftTol is the τ-drift guard's relative tolerance for
+	// incremental retraining: a retrain whose scale heuristic has moved
+	// more than this fraction from the frozen kernel scale triggers a full
+	// rebuild. 0 selects 0.1.
+	TauDriftTol float64
 }
 
 // DefaultOptions returns the paper's settings.
@@ -85,6 +98,51 @@ type Model struct {
 	ccaModel *cca.Model
 }
 
+// applyDefaults fills zero-valued options with the paper's defaults.
+func applyDefaults(opt Options) Options {
+	if opt.TauFracX <= 0 {
+		opt.TauFracX = 0.1
+	}
+	if opt.TauFracY <= 0 {
+		opt.TauFracY = 0.2
+	}
+	if opt.Reg <= 0 {
+		opt.Reg = 1e-3
+	}
+	if opt.TauDriftTol <= 0 {
+		opt.TauDriftTol = 0.1
+	}
+	return opt
+}
+
+// resolveRank applies the automatic kernel-PCA rank rule: a quarter of the
+// training set, capped at 80 for tractability, floored at 8 for stability,
+// and never exceeding n−1 (a centered kernel matrix has rank ≤ n−1).
+func resolveRank(n int, opt Options) int {
+	rank := opt.Rank
+	if rank <= 0 {
+		rank = n / 4
+		if rank > 80 {
+			rank = 80
+		}
+		if rank < 8 {
+			rank = 8
+		}
+	}
+	if rank > n-1 {
+		rank = n - 1
+	}
+	return rank
+}
+
+// iterWorthwhile reports whether the iterative top-rank eigensolver pays
+// off: its block is rank + oversampling columns, and below about half of N
+// the O(N²·b) iteration no longer beats the dense O(N³) solve (and loses
+// the room it needs to converge).
+func iterWorthwhile(n, rank int) bool {
+	return n >= 2*(rank+linalg.DefaultOversample)
+}
+
 // Train fits KCCA on the query features x and performance features y (one
 // row per training query in both, same order).
 func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
@@ -96,15 +154,7 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 	if n < 5 {
 		return nil, ErrTooFew
 	}
-	if opt.TauFracX <= 0 {
-		opt.TauFracX = 0.1
-	}
-	if opt.TauFracY <= 0 {
-		opt.TauFracY = 0.2
-	}
-	if opt.Reg <= 0 {
-		opt.Reg = 1e-3
-	}
+	opt = applyDefaults(opt)
 
 	tauX := opt.TauX
 	if tauX <= 0 {
@@ -129,29 +179,19 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 	)
 	stopKernel()
 
-	rank := opt.Rank
-	if rank <= 0 {
-		rank = n / 4
-		if rank > 80 {
-			rank = 80
-		}
-		if rank < 8 {
-			rank = 8
-		}
-	}
-	if rank > n-1 {
-		rank = n - 1
-	}
+	rank := resolveRank(n, opt)
 
-	var phiX, phiY, ux *linalg.Matrix
+	var phiX, phiY, ux, uy *linalg.Matrix
 	var lamx []float64
 	var errX, errY error
 	stopEigen := obs.Span("kcca.train.eigen")
+	useIter := opt.Lanczos && iterWorthwhile(n, rank)
 	parallel.Do(
-		func() { phiX, ux, lamx, errX = kernelPCA(kxC, rank) },
-		func() { phiY, _, _, errY = kernelPCA(kyC, rank) },
+		func() { phiX, ux, lamx, errX = pcaSolve(kxC, rank, useIter, nil) },
+		func() { phiY, uy, _, errY = pcaSolve(kyC, rank, useIter, nil) },
 	)
 	stopEigen()
+	_ = uy
 	if errX != nil {
 		return nil, errX
 	}
@@ -159,6 +199,35 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 		return nil, errY
 	}
 
+	return fitModel(x.Clone(), tauX, tauY, rowMeansX, grandX, phiX, ux, lamx, phiY, opt)
+}
+
+// keepFrac is the kernel-PCA significance threshold: components with
+// eigenvalues below keepFrac·max(λ₁, 1) are dropped (phiFromEigen), and the
+// iterative solver is told not to chase residuals on them (DropBelow).
+const keepFrac = 1e-10
+
+// pcaSolve runs kernel PCA with the dense solver or the iterative one
+// (falling back to dense when the iteration fails to converge — correctness
+// over speed, since dense always succeeds on a symmetric matrix).
+func pcaSolve(kC *linalg.Matrix, rank int, iterative bool, warm *linalg.Matrix) (phi, u *linalg.Matrix, lam []float64, err error) {
+	if iterative {
+		vals, vecs, ierr := linalg.TopEigenWarm(kC, rank, linalg.EigenOptions{Warm: warm, DropBelow: keepFrac})
+		if ierr == nil {
+			return phiFromEigen(kC.Rows, vals, vecs)
+		}
+		if !errors.Is(ierr, linalg.ErrNotConverged) {
+			return nil, nil, nil, ierr
+		}
+	}
+	return kernelPCA(kC, rank)
+}
+
+// fitModel finishes training from the per-view kernel-PCA outputs: the CCA
+// fit in reduced space, both training projections, and model assembly.
+// xOwned must be caller-owned (it is stored in the model uncopied).
+func fitModel(xOwned *linalg.Matrix, tauX, tauY float64, rowMeansX []float64, grandX float64,
+	phiX, ux *linalg.Matrix, lamx []float64, phiY *linalg.Matrix, opt Options) (*Model, error) {
 	dims := opt.Dims
 	if dims <= 0 || dims > phiX.Cols || dims > phiY.Cols {
 		dims = phiX.Cols
@@ -178,7 +247,7 @@ func Train(x, y *linalg.Matrix, opt Options) (*Model, error) {
 	perfProj := cm.ProjectAllY(phiY)
 	stopProj()
 	return &Model{
-		X:            x.Clone(),
+		X:            xOwned,
 		TauX:         tauX,
 		TauY:         tauY,
 		QueryProj:    queryProj,
@@ -199,9 +268,16 @@ func kernelPCA(k *linalg.Matrix, r int) (phi, u *linalg.Matrix, lam []float64, e
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	// Keep only numerically meaningful components.
+	return phiFromEigen(k.Rows, vals, vecs)
+}
+
+// phiFromEigen builds Phi = U·Λ^{1/2} from eigenpairs (descending order),
+// applying the keep threshold that drops numerically insignificant
+// components. Shared by the dense and iterative solver paths so both apply
+// an identical significance rule.
+func phiFromEigen(n int, vals []float64, vecs *linalg.Matrix) (phi, u *linalg.Matrix, lam []float64, err error) {
 	keep := 0
-	tol := 1e-10 * math.Max(vals[0], 1)
+	tol := keepFrac * math.Max(vals[0], 1)
 	for keep < len(vals) && vals[keep] > tol {
 		keep++
 	}
@@ -210,7 +286,6 @@ func kernelPCA(k *linalg.Matrix, r int) (phi, u *linalg.Matrix, lam []float64, e
 	}
 	vals = vals[:keep]
 	vecs = vecs.SliceCols(0, keep)
-	n := k.Rows
 	phi = linalg.NewMatrix(n, keep)
 	for j := 0; j < keep; j++ {
 		s := math.Sqrt(vals[j])
@@ -224,15 +299,33 @@ func kernelPCA(k *linalg.Matrix, r int) (phi, u *linalg.Matrix, lam []float64, e
 // ProjectQuery maps a new query feature vector into the query projection
 // (the coordinates used for nearest-neighbor lookup in Fig. 7).
 func (m *Model) ProjectQuery(q []float64) []float64 {
+	proj, _ := m.ProjectQueryKernel(q)
+	return proj
+}
+
+// ProjectQueryKernel projects q and also returns its largest raw kernel
+// evaluation against the training set (see MaxKernel), computing the
+// cross-kernel vector exactly once — the prediction hot path needs both and
+// the O(N·d) kernel vector dominates its cost. The vector lives in a pooled
+// scratch buffer, so the only allocations are the two returned coordinate
+// slices.
+func (m *Model) ProjectQueryKernel(q []float64) (proj []float64, maxK float64) {
 	defer obs.Span("kcca.project_query")()
-	kq := kernels.CrossVector(m.X, q, m.TauX)
-	kqC := kernels.CenterCross(kq, m.rowMeansX, m.grandX)
+	kq := kernels.GetScratch(m.X.Rows)
+	defer kernels.PutScratch(kq)
+	kernels.CrossVectorInto(*kq, m.X, q, m.TauX)
+	for _, v := range *kq {
+		if v > maxK {
+			maxK = v
+		}
+	}
+	kernels.CenterCrossInto(*kq, *kq, m.rowMeansX, m.grandX)
 	// φq = Λ^{−1/2} Uᵀ kq.
-	phi := m.ux.TMulVec(kqC)
+	phi := m.ux.TMulVec(*kq)
 	for j := range phi {
 		phi[j] /= math.Sqrt(m.lamx[j])
 	}
-	return m.ccaModel.ProjectX(phi)
+	return m.ccaModel.ProjectX(phi), maxK
 }
 
 // MaxKernel returns the largest kernel evaluation between q and any

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/obs"
@@ -36,6 +37,14 @@ func ScaleHeuristic(rows *linalg.Matrix, frac float64) float64 {
 	for i := 0; i < rows.Rows; i++ {
 		norms[i] = linalg.Norm(rows.Row(i))
 	}
+	return scaleFromNorms(norms, frac)
+}
+
+// scaleFromNorms is the heuristic on precomputed data-point norms. The
+// Maintained kernel state keeps per-row norms incrementally and re-derives
+// its τ-drift candidate through this exact function, so a drift-triggered
+// full rebuild lands on bit-identical scales to a from-scratch train.
+func scaleFromNorms(norms []float64, frac float64) float64 {
 	tau := frac * linalg.Variance(norms)
 	if tau <= 1e-12 {
 		// All norms (nearly) identical: fall back to the mean squared norm
@@ -52,9 +61,18 @@ func ScaleHeuristic(rows *linalg.Matrix, frac float64) float64 {
 // (j, i)), so the result is identical to the serial loop at every worker
 // count.
 func Matrix(x *linalg.Matrix, tau float64) *linalg.Matrix {
+	return MatrixInto(linalg.NewMatrix(x.Rows, x.Rows), x, tau)
+}
+
+// MatrixInto computes the kernel matrix of x into the caller-owned k (which
+// must be x.Rows square) and returns it. Rebuild paths that already hold an
+// N×N buffer (the Maintained state) reuse it instead of reallocating.
+func MatrixInto(k *linalg.Matrix, x *linalg.Matrix, tau float64) *linalg.Matrix {
 	defer obs.Span("kernels.matrix")()
 	n := x.Rows
-	k := linalg.NewMatrix(n, n)
+	if k.Rows != n || k.Cols != n {
+		panic(fmt.Sprintf("kernels: MatrixInto target is %dx%d, want %dx%d", k.Rows, k.Cols, n, n))
+	}
 	parallel.For(n, parallel.GrainFor(n*x.Cols/2+1, 1<<15), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			k.Set(i, i, 1)
@@ -69,14 +87,42 @@ func Matrix(x *linalg.Matrix, tau float64) *linalg.Matrix {
 	return k
 }
 
+// crossScratch pools the per-call kernel vectors of the prediction hot path
+// (one float64 slice per in-flight CrossVector-using caller).
+var crossScratch = sync.Pool{New: func() any { s := make([]float64, 0, 512); return &s }}
+
+// GetScratch leases a float64 buffer of length n from the package pool;
+// pair with PutScratch. Hot paths that consume a kernel vector and discard
+// it (projection, maintained row updates) use it to keep per-prediction
+// allocations flat.
+func GetScratch(n int) *[]float64 {
+	p := crossScratch.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutScratch returns a leased buffer to the pool.
+func PutScratch(p *[]float64) { crossScratch.Put(p) }
+
 // CrossVector computes the kernel evaluations k(q, xᵢ) of one query point
 // against every row of x.
 func CrossVector(x *linalg.Matrix, q []float64, tau float64) []float64 {
+	return CrossVectorInto(make([]float64, x.Rows), x, q, tau)
+}
+
+// CrossVectorInto is CrossVector into a caller-owned buffer of length
+// x.Rows (commonly leased from GetScratch), returning it.
+func CrossVectorInto(out []float64, x *linalg.Matrix, q []float64, tau float64) []float64 {
 	defer obs.Span("kernels.cross_vector")()
 	if len(q) != x.Cols {
 		panic(fmt.Sprintf("kernels: query has %d features, want %d", len(q), x.Cols))
 	}
-	out := make([]float64, x.Rows)
+	if len(out) != x.Rows {
+		panic(fmt.Sprintf("kernels: cross-vector buffer has %d entries, want %d", len(out), x.Rows))
+	}
 	parallel.For(x.Rows, parallel.GrainFor(x.Cols, 1<<14), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = Gaussian(x.Row(i), q, tau)
@@ -115,12 +161,17 @@ func Center(k *linalg.Matrix) (centered *linalg.Matrix, rowMeans []float64, gran
 // new point against the training points) consistently with Center:
 // k'ᵢ = kᵢ − mean(kq) − rowMeansᵢ + grandMean.
 func CenterCross(kq, rowMeans []float64, grandMean float64) []float64 {
+	return CenterCrossInto(make([]float64, len(kq)), kq, rowMeans, grandMean)
+}
+
+// CenterCrossInto is CenterCross into a caller-owned buffer; dst may alias
+// kq, letting hot paths center a leased kernel vector in place.
+func CenterCrossInto(dst, kq, rowMeans []float64, grandMean float64) []float64 {
 	m := linalg.Mean(kq)
-	out := make([]float64, len(kq))
 	for i, v := range kq {
-		out[i] = v - m - rowMeans[i] + grandMean
+		dst[i] = v - m - rowMeans[i] + grandMean
 	}
-	return out
+	return dst
 }
 
 // MedianSqDist returns the median squared Euclidean distance between rows

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 	"repro/internal/obs"
@@ -83,6 +84,35 @@ type Neighbor struct {
 	Distance float64
 }
 
+// neighborSlice implements sort.Interface under the canonical (distance,
+// index) order. Sorting through a *neighborSlice from the scratch pool keeps
+// the sort allocation-free (a pointer fits the interface word; sort.Slice
+// would allocate its closure and reflect swapper on every call).
+type neighborSlice []Neighbor
+
+func (s *neighborSlice) Len() int           { return len(*s) }
+func (s *neighborSlice) Less(i, j int) bool { return less((*s)[i], (*s)[j]) }
+func (s *neighborSlice) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+
+// neighborPool recycles the n-sized candidate rankings built by
+// Nearest/Search. Ranking n candidates needs an n-entry scratch slice that
+// would otherwise be allocated (and become garbage) on every call — the
+// predict hot path calls Nearest once per query, so at n = 4000 training
+// points that was ~64 KiB of garbage per prediction. Only the k winners are
+// copied out.
+var neighborPool = sync.Pool{New: func() any { return new(neighborSlice) }}
+
+func getNeighbors(n int) *neighborSlice {
+	s := neighborPool.Get().(*neighborSlice)
+	if cap(*s) < n {
+		*s = make(neighborSlice, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+func putNeighbors(s *neighborSlice) { neighborPool.Put(s) }
+
 // Options configures prediction.
 type Options struct {
 	K         int
@@ -119,7 +149,9 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 	}
 	searchQueries.Inc()
 	searchCandidates.Observe(float64(n))
-	all := make([]Neighbor, n)
+	scratch := getNeighbors(n)
+	defer putNeighbors(scratch)
+	all := *scratch
 	// Distance computation fans out across the worker pool; each index is
 	// written by exactly one worker, so the slice contents match the serial
 	// loop exactly and the sort below sees identical input.
@@ -134,8 +166,8 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 			all[i] = Neighbor{Index: i, Distance: d}
 		}
 	})
-	sort.Slice(all, func(a, b int) bool { return less(all[a], all[b]) })
-	return all[:k], nil
+	sort.Sort(scratch)
+	return append(make([]Neighbor, 0, k), all[:k]...), nil
 }
 
 // less is the total order on neighbors: ascending distance, then ascending
@@ -178,10 +210,14 @@ func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbo
 	searchQueries.Add(int64(queries.Rows))
 	out := make([][]Neighbor, queries.Rows)
 	parallel.For(queries.Rows, 1, func(lo, hi int) {
+		// One pooled ranking buffer per worker chunk, reused across its
+		// queries; only each query's k winners are copied out.
+		scratch := getNeighbors(n)
+		defer putNeighbors(scratch)
+		all := *scratch
 		for qi := lo; qi < hi; qi++ {
 			searchCandidates.Observe(float64(n))
 			q := queries.Row(qi)
-			all := make([]Neighbor, n)
 			for i := 0; i < n; i++ {
 				var d float64
 				if metric == Cosine {
@@ -191,8 +227,8 @@ func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbo
 				}
 				all[i] = Neighbor{Index: i, Distance: d}
 			}
-			sort.Slice(all, func(a, b int) bool { return less(all[a], all[b]) })
-			out[qi] = all[:k:k]
+			sort.Sort(scratch)
+			out[qi] = append(make([]Neighbor, 0, k), all[:k]...)
 		}
 	})
 	return out, nil

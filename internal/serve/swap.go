@@ -10,7 +10,11 @@ import (
 // servedModel is one immutable model plus its generation tag. A trained
 // core.Predictor is never mutated after Train returns, so readers may use
 // it lock-free for as long as they hold the pointer; a hot swap only
-// replaces which pointer new readers pick up.
+// replaces which pointer new readers pick up. The generation also scopes
+// the predictor's internal projection cache: each Predictor carries its
+// own, so swapping generations retires every cached projection of the
+// previous model wholesale — results tagged with one generation were
+// computed against exactly that model and its cache, never a stale one.
 type servedModel struct {
 	pred *core.Predictor
 	gen  int64
@@ -35,12 +39,17 @@ func (s *slot) swap(p *core.Predictor) int64 {
 	return gen
 }
 
-// observeLoop is the single goroutine that owns the SlidingPredictor.
+// observeLoop is the single goroutine driving the SlidingPredictor.
 // Observations stream in from /v1/observe through a bounded channel; the
 // sliding window's periodic retrains happen here, off the request path,
 // and each completed retrain is atomically swapped into the model slot.
-// Mirrored atomics (windowSize, retrains) let handlers report window state
-// without touching the goroutine-owned SlidingPredictor.
+// In steady state those retrains are incremental (maintained kernel
+// matrices patched per observation, warm-started top-rank eigensolves —
+// see kcca.Incremental), falling back to full trainings when the τ-drift
+// guard fires; either way this loop only sees Observe/Retrain complete and
+// publishes whatever model they produced. Mirrored atomics (windowSize,
+// retrains) let handlers report window state without locking the
+// SlidingPredictor.
 func (s *Server) observeLoop() {
 	defer close(s.observeDone)
 	for q := range s.observeCh {
