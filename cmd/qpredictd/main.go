@@ -12,11 +12,19 @@
 //
 //	curl -s localhost:8080/v1/predict -d '{"sql": "SELECT COUNT(*) FROM store_sales"}'
 //
-// Endpoints: /v1/predict, /v1/observe, /v1/model, /healthz, /readyz, plus
-// the observability surface (/metrics, /timings, /debug/pprof) on the same
-// listener. SIGINT/SIGTERM drain gracefully: the listener stops accepting,
-// in-flight micro-batches and queued observations finish, then the process
-// exits through the shared cleanup path (which also flushes -timings).
+// With -shards N the daemon runs the sharded multi-model tier instead of a
+// single model: traffic is partitioned across N per-shard sliding
+// predictors (-partitioner picks the policy, hash or category), each with
+// its own coalescer, generation, and background retrain loop, and GET
+// /v1/shards exposes the per-shard state. -shards 1 is byte-identical to
+// the unsharded daemon on the wire.
+//
+// Endpoints: /v1/predict, /v1/observe, /v1/model, /v1/shards, /healthz,
+// /readyz, plus the observability surface (/metrics, /timings,
+// /debug/pprof) on the same listener. SIGINT/SIGTERM drain gracefully: the
+// listener stops accepting, in-flight micro-batches and queued
+// observations finish, then the process exits through the shared cleanup
+// path (which also flushes -timings).
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -56,6 +65,8 @@ func main() {
 	retrainEvery := flag.Int("retrain-every", 100, "observations between background retrains")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown deadline")
 	timings := flag.Bool("timings", false, "print the per-stage timing table on exit")
+	shards := flag.Int("shards", 0, "run the sharded multi-model tier with N shards (0 = single model)")
+	partitioner := flag.String("partitioner", "hash", "shard routing policy: hash or category (with -shards)")
 	flag.Parse()
 
 	if *timings {
@@ -103,21 +114,58 @@ func main() {
 		}
 	}
 
-	sliding, err := core.NewSliding(*capacity, *retrainEvery, opt)
-	if err != nil {
-		cli.Fatalf("sliding window: %v", err)
+	svcCfg := serve.Config{
+		Schema:   schema,
+		Machine:  machine,
+		DataSeed: *dataSeed,
+		Window:   *window,
+		MaxBatch: *maxBatch,
+		QueueCap: *queueCap,
+		Timeout:  *timeout,
 	}
-	svc, err := serve.New(serve.Config{
-		Predictor: predictor,
-		Sliding:   sliding,
-		Schema:    schema,
-		Machine:   machine,
-		DataSeed:  *dataSeed,
-		Window:    *window,
-		MaxBatch:  *maxBatch,
-		QueueCap:  *queueCap,
-		Timeout:   *timeout,
-	})
+	if *shards > 0 {
+		// Per-shard knobs divide the single-model budget so the fleet-wide
+		// totals match: with -shards 1 this reduces exactly to the unsharded
+		// values, keeping the single-shard daemon byte-identical.
+		shCap := max(5, *capacity / *shards)
+		shEvery := max(1, *retrainEvery / *shards)
+		if shEvery > shCap {
+			shEvery = shCap
+		}
+		part, err := shard.NewPartitioner(*partitioner, *shards, opt.Features)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		cfgs := make([]shard.ShardConfig, *shards)
+		for i := range cfgs {
+			sl, err := core.NewSliding(shCap, shEvery, opt)
+			if err != nil {
+				cli.Fatalf("sliding window: %v", err)
+			}
+			// Every shard boots from the same trained model, then diverges
+			// as its own observations arrive.
+			cfgs[i] = shard.ShardConfig{Boot: predictor, Sliding: sl}
+		}
+		router, err := shard.NewRouter(cfgs, part, shard.Config{
+			Window:   *window,
+			MaxBatch: *maxBatch,
+			QueueCap: *queueCap,
+		}, true)
+		if err != nil {
+			cli.Fatalf("shard router: %v", err)
+		}
+		svcCfg.Router = router
+		fmt.Fprintf(os.Stderr, "sharded tier: %d shards, %s partitioner, per-shard window %d\n",
+			*shards, part.Name(), shCap)
+	} else {
+		sliding, err := core.NewSliding(*capacity, *retrainEvery, opt)
+		if err != nil {
+			cli.Fatalf("sliding window: %v", err)
+		}
+		svcCfg.Predictor = predictor
+		svcCfg.Sliding = sliding
+	}
+	svc, err := serve.New(svcCfg)
 	if err != nil {
 		cli.Fatalf("starting service: %v", err)
 	}

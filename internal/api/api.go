@@ -97,7 +97,17 @@ type QueryResult struct {
 	OptimizerCost float64 `json:"optimizer_cost,omitempty"`
 	// Generation is the model generation that produced this result (it can
 	// differ between results of one batch when a hot swap lands mid-batch).
+	// On a sharded daemon, generations are per shard.
 	Generation int64 `json:"generation,omitempty"`
+	// Shard is the owning shard of this query per the partitioner, present
+	// only when the daemon runs more than one shard (a single-shard daemon
+	// keeps the unsharded wire format byte-identical). It names the shard
+	// that owns the query even when a cold-start fallback served it; the
+	// serving shard is then reported in FallbackShard.
+	Shard string `json:"shard,omitempty"`
+	// FallbackShard is set when the owning shard was cold and a warm shard
+	// answered instead (cold-start fallback).
+	FallbackShard string `json:"fallback_shard,omitempty"`
 	// Error is set instead of Metrics when this query failed.
 	Error *Error `json:"error,omitempty"`
 }
@@ -125,8 +135,17 @@ type ModelInfo struct {
 	// Swaps is the number of completed hot swaps since boot.
 	Swaps int64 `json:"swaps"`
 	// WindowSize is the sliding window's current occupancy (0 when the
-	// daemon runs a static model with no observation feedback).
+	// daemon runs a static model with no observation feedback). On a
+	// multi-shard daemon it is the total across shards.
 	WindowSize int `json:"window_size,omitempty"`
+	// Shards is the shard count, present only on a daemon running more than
+	// one shard. There, Generation is the highest per-shard generation,
+	// TrainedOn and Swaps are totals, and GET /v1/shards has the per-shard
+	// breakdown.
+	Shards int `json:"shards,omitempty"`
+	// Partitioner names the routing policy ("hash", "category"), present
+	// only on a multi-shard daemon.
+	Partitioner string `json:"partitioner,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/observe: executed queries with
@@ -149,6 +168,40 @@ type ObserveResponse struct {
 	Accepted   int    `json:"accepted"`
 	WindowSize int    `json:"window_size"`
 	Generation int64  `json:"generation"`
+	// Shard is set when the daemon runs more than one shard and every
+	// observation of this request routed to the same shard; WindowSize is
+	// then that shard's window. Requests spanning shards leave it empty and
+	// report the total window.
+	Shard string `json:"shard,omitempty"`
+}
+
+// ShardInfo describes one shard of a sharded daemon (GET /v1/shards).
+type ShardInfo struct {
+	// ID is the shard index; results carry it in their "shard" field.
+	ID int `json:"id"`
+	// Ready reports whether the shard serves a model.
+	Ready bool `json:"ready"`
+	// Generation counts the shard's served models (1 = its boot model).
+	Generation int64 `json:"generation"`
+	// Swaps is the shard's completed hot swaps since boot.
+	Swaps int64 `json:"swaps"`
+	// TrainedOn is the number of training queries behind the shard's model.
+	TrainedOn int `json:"trained_on"`
+	// WindowSize is the shard's sliding-window occupancy.
+	WindowSize int `json:"window_size"`
+	// Predictions counts predictions this shard has served.
+	Predictions int64 `json:"predictions"`
+	// Observations counts observations this shard has applied.
+	Observations int64 `json:"observations"`
+}
+
+// ShardsResponse is the body of GET /v1/shards: the routing policy and the
+// per-shard model state. The endpoint exists only on a sharded daemon
+// (including -shards=1).
+type ShardsResponse struct {
+	Version     string      `json:"version"`
+	Partitioner string      `json:"partitioner"`
+	Shards      []ShardInfo `json:"shards"`
 }
 
 // Error is a machine-readable failure: Code is stable and branchable,

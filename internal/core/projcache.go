@@ -56,32 +56,16 @@ func newProjCache(capacity int) *projCache {
 	return &projCache{cap: capacity, order: list.New(), byFP: make(map[uint64]*list.Element)}
 }
 
-// fingerprint is FNV-1a over the IEEE-754 bit patterns of f. Bit patterns —
-// not values — so 0.0 and −0.0 hash apart; the exact compare in get uses
-// the same equality, keeping hit/miss decisions consistent.
-func fingerprint(f []float64) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, v := range f {
-		bits := math.Float64bits(v)
-		for s := 0; s < 64; s += 8 {
-			h ^= (bits >> s) & 0xff
-			h *= prime64
-		}
-	}
-	return h
-}
-
-// get returns the cached projection for f, if present. The returned slices
-// are shared and must be treated as read-only by callers.
+// get returns the cached projection for f, if present. Keys are the shared
+// template Fingerprint (bit patterns, not values — so 0.0 and −0.0 hash
+// apart; the exact compare below uses the same equality, keeping hit/miss
+// decisions consistent). The returned slices are shared and must be treated
+// as read-only by callers.
 func (c *projCache) get(f []float64) (proj []float64, maxK float64, ok bool) {
 	if c == nil {
 		return nil, 0, false
 	}
-	fp := fingerprint(f)
+	fp := Fingerprint(f)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, found := c.byFP[fp]
@@ -107,7 +91,7 @@ func (c *projCache) put(f, proj []float64, maxK float64) {
 	if c == nil {
 		return
 	}
-	fp := fingerprint(f)
+	fp := Fingerprint(f)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, found := c.byFP[fp]; found {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -9,9 +10,13 @@ import (
 // batchItem is one query riding through the coalescer. The handler that
 // submitted it waits on done; the coalescer fills res and gen, then closes
 // done (the close is the happens-before edge that publishes the result).
-// A handler that gives up (per-request timeout) simply abandons the item —
-// the coalescer still writes to it, but nobody reads.
+// ctx is the submitting request's context: an item whose context is already
+// done when its micro-batch runs is answered with the context error and
+// excluded from the predict call, so an abandoned request (per-request
+// timeout, client gone) costs nothing past its deadline and a backed-up
+// queue drains in O(queue) instead of O(queue × predict).
 type batchItem struct {
+	ctx  context.Context
 	req  core.Request
 	res  core.Result
 	gen  int64
@@ -100,14 +105,30 @@ func (s *Server) coalesceLoop() {
 // pool — responses are bit-identical to a direct PredictBatch on the same
 // queries because they are the same code path.
 func (s *Server) runBatch(batch []*batchItem) {
-	batchSizeHist.Observe(float64(len(batch)))
+	live := batch[:0]
+	for _, b := range batch {
+		if b.ctx != nil {
+			select {
+			case <-b.ctx.Done():
+				b.res.Err = b.ctx.Err()
+				close(b.done)
+				continue
+			default:
+			}
+		}
+		live = append(live, b)
+	}
+	if len(live) == 0 {
+		return
+	}
+	batchSizeHist.Observe(float64(len(live)))
 	m := s.slot.get()
-	reqs := make([]core.Request, len(batch))
-	for i, b := range batch {
+	reqs := make([]core.Request, len(live))
+	for i, b := range live {
 		reqs[i] = b.req
 	}
 	results := m.pred.Predict(reqs...)
-	for i, b := range batch {
+	for i, b := range live {
 		b.res = results[i]
 		b.gen = m.gen
 		close(b.done)

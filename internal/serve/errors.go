@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kcca"
 	"repro/internal/knn"
+	"repro/internal/shard"
 )
 
 // Serving-layer sentinels for conditions that arise in the daemon itself
@@ -18,6 +20,19 @@ var (
 	errShuttingDown = errors.New("serve: daemon is draining")
 	errNoFeedback   = errors.New("serve: daemon runs a static model (no observation feedback)")
 )
+
+// legacyText rewrites the shard tier's sentinel messages to the unsharded
+// daemon's wording, keeping the single-shard wire format byte-identical to
+// today's responses.
+func legacyText(err error) error {
+	switch {
+	case errors.Is(err, shard.ErrOverloaded):
+		return errOverloaded
+	case errors.Is(err, shard.ErrDraining):
+		return errShuttingDown
+	}
+	return err
+}
 
 // apiError maps any error from the prediction stack to a stable wire code,
 // using the sentinel errors exported by core/kcca/knn. Unknown errors
@@ -37,10 +52,12 @@ func apiError(err error) *api.Error {
 		errors.Is(err, kcca.ErrTooFew),
 		errors.Is(err, kcca.ErrRowMismatch):
 		code = api.CodeBadRequest
-	case errors.Is(err, errOverloaded):
+	case errors.Is(err, errOverloaded), errors.Is(err, shard.ErrOverloaded):
 		code = api.CodeOverloaded
-	case errors.Is(err, errShuttingDown):
+	case errors.Is(err, errShuttingDown), errors.Is(err, shard.ErrDraining):
 		code = api.CodeShuttingDown
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = api.CodeTimeout
 	}
 	return &api.Error{Code: code, Message: err.Error()}
 }
@@ -63,8 +80,13 @@ func statusFor(code string) int {
 	}
 }
 
-// writeError emits the standard error body for its code's status.
+// writeError emits the standard error body for its code's status. 429
+// responses carry a Retry-After hint so well-behaved clients (including
+// pkg/qpredictclient) back off instead of hammering a full queue.
 func writeError(w http.ResponseWriter, code, message string) {
+	if code == api.CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, statusFor(code), api.ErrorResponse{
 		Version: api.Version,
 		Error:   api.Error{Code: code, Message: message},

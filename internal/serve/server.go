@@ -16,9 +16,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +33,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
+	"repro/internal/shard"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
 )
@@ -58,6 +62,14 @@ type Config struct {
 	// hot-swap retraining. The Server's observe goroutine takes sole
 	// ownership of it.
 	Sliding *core.SlidingPredictor
+	// Router, when set, replaces the single Predictor/Sliding pair with the
+	// sharded multi-model tier: predict and observe traffic is partitioned
+	// across per-shard sliding predictors, each with its own coalescer,
+	// generation, and background retrain loop. Predictor and Sliding must
+	// be nil. The Server takes ownership and closes the router on Close.
+	// With one shard the wire behavior is byte-identical to the unsharded
+	// configuration (asserted by TestShardedSingleEquivalence).
+	Router *shard.Router
 	// Schema and Machine configure the planner that turns incoming SQL
 	// into the plan feature vectors the model consumes.
 	Schema   *catalog.Schema
@@ -88,6 +100,10 @@ type Server struct {
 	cfg     Config
 	planCfg optimizer.Config
 
+	// router is non-nil in sharded mode; slot/sliding/queue are then unused
+	// (each shard owns its own).
+	router *shard.Router
+
 	slot    slot
 	sliding *core.SlidingPredictor
 
@@ -110,8 +126,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Schema == nil {
 		return nil, fmt.Errorf("serve: config needs a schema")
 	}
-	if cfg.Predictor == nil && cfg.Sliding == nil {
-		return nil, fmt.Errorf("serve: config needs a boot predictor or a sliding predictor")
+	if cfg.Router != nil {
+		if cfg.Predictor != nil || cfg.Sliding != nil {
+			return nil, fmt.Errorf("serve: config sets both a shard router and a single-model predictor")
+		}
+	} else if cfg.Predictor == nil && cfg.Sliding == nil {
+		return nil, fmt.Errorf("serve: config needs a boot predictor, a sliding predictor, or a shard router")
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
@@ -129,12 +149,16 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBody = 4 << 20
 	}
 	s := &Server{
-		cfg:          cfg,
-		planCfg:      optimizer.DefaultConfig(cfg.Machine.Processors),
-		sliding:      cfg.Sliding,
-		queue:        make(chan *batchItem, cfg.QueueCap),
-		coalesceDone: make(chan struct{}),
+		cfg:     cfg,
+		planCfg: optimizer.DefaultConfig(cfg.Machine.Processors),
+		router:  cfg.Router,
 	}
+	if s.router != nil {
+		return s, nil
+	}
+	s.sliding = cfg.Sliding
+	s.queue = make(chan *batchItem, cfg.QueueCap)
+	s.coalesceDone = make(chan struct{})
 	if cfg.Predictor != nil {
 		s.slot.swap(cfg.Predictor)
 	} else if cfg.Sliding.Ready() {
@@ -161,6 +185,11 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	if s.router != nil {
+		s.mu.Unlock()
+		s.router.Close()
+		return
+	}
 	close(s.queue)
 	if s.observeCh != nil {
 		close(s.observeCh)
@@ -177,6 +206,7 @@ func (s *Server) Close() {
 //	POST /v1/predict   predict one or many queries
 //	POST /v1/observe   feed executed queries to the retraining window
 //	GET  /v1/model     current model metadata
+//	GET  /v1/shards    per-shard model state (sharded daemon only)
 //	GET  /healthz      process liveness
 //	GET  /readyz       readiness (a model is being served and not draining)
 func (s *Server) Handler() http.Handler {
@@ -184,6 +214,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/observe", s.handleObserve)
 	mux.HandleFunc("/v1/model", s.handleModel)
+	mux.HandleFunc("/v1/shards", s.handleShards)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -199,11 +230,21 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, api.CodeShuttingDown, "draining")
 		return
 	}
-	if s.slot.get() == nil {
+	if !s.ready() {
 		writeError(w, api.CodeNotTrained, "no model trained yet")
 		return
 	}
 	w.Write([]byte("ready\n"))
+}
+
+// ready reports whether a model is being served — in sharded mode, whether
+// any shard is (cold shards are rescued by the warm fallback or fail
+// per-request).
+func (s *Server) ready() bool {
+	if s.router != nil {
+		return s.router.AnyReady()
+	}
+	return s.slot.get() != nil
 }
 
 // planQuery turns SQL text into a planned query, classifying failures as
@@ -243,10 +284,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d queries exceeds the per-request limit of %d", len(inputs), s.cfg.MaxQueries))
 		return
 	}
-	if s.slot.get() == nil {
+	if !s.ready() {
 		writeError(w, api.CodeNotTrained, "no model trained yet")
 		return
 	}
+	if s.router != nil {
+		s.predictSharded(w, r, inputs)
+		return
+	}
+
+	// The request context, bounded by the per-request deadline, rides into
+	// every batch item: when the handler gives up, the coalescer skips the
+	// abandoned items instead of predicting for nobody.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
 
 	// Parse + plan first: malformed queries fail in place without entering
 	// the queue, so a batch mixing good and bad SQL still gets predictions
@@ -262,7 +313,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		results[i].OptimizerCost = cost
-		items = append(items, &batchItem{req: core.Request{Query: q}, done: make(chan struct{})})
+		items = append(items, &batchItem{ctx: ctx, req: core.Request{Query: q}, done: make(chan struct{})})
 		itemIdx = append(itemIdx, i)
 	}
 	for _, it := range items {
@@ -282,6 +333,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		case <-it.done:
 			i := itemIdx[k]
 			if it.res.Err != nil {
+				// An item the coalescer skipped because this request's
+				// context expired is the deadline path, just observed from
+				// the other side of the queue — report it identically.
+				if errors.Is(it.res.Err, context.DeadlineExceeded) {
+					requestTimeouts.Inc()
+					writeError(w, api.CodeTimeout,
+						fmt.Sprintf("prediction did not complete within %v", s.cfg.Timeout))
+					return
+				}
+				if errors.Is(it.res.Err, context.Canceled) {
+					requestTimeouts.Inc()
+					writeError(w, api.CodeTimeout, "client went away: "+it.res.Err.Error())
+					return
+				}
 				results[i].Error = apiError(it.res.Err)
 				continue
 			}
@@ -308,13 +373,86 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// predictSharded plans the batch, fans it across shards through the
+// router, and merges the outcomes back in input order. Per-query failures
+// (routing, cold shard without rescue, model errors) land in their own
+// result slot; conditions the unsharded daemon rejects wholesale (a shed
+// queue, draining, the request deadline) reject the whole request with the
+// same code and message.
+func (s *Server) predictSharded(w http.ResponseWriter, r *http.Request, inputs []api.QueryInput) {
+	results := make([]api.QueryResult, len(inputs))
+	qs := make([]*dataset.Query, 0, len(inputs))
+	qIdx := make([]int, 0, len(inputs))
+	for i, in := range inputs {
+		results[i].SQL = in.SQL
+		q, cost, apiErr := s.planQuery(in.SQL)
+		if apiErr != nil {
+			results[i].Error = apiErr
+			continue
+		}
+		results[i].OptimizerCost = cost
+		qs = append(qs, q)
+		qIdx = append(qIdx, i)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	outs := s.router.Predict(ctx, qs)
+	sharded := s.router.Sharded()
+	for k, out := range outs {
+		i := qIdx[k]
+		err := out.Err
+		if err == nil {
+			err = out.Res.Err
+		}
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			requestTimeouts.Inc()
+			writeError(w, api.CodeTimeout,
+				fmt.Sprintf("prediction did not complete within %v", s.cfg.Timeout))
+			return
+		case errors.Is(err, context.Canceled):
+			requestTimeouts.Inc()
+			writeError(w, api.CodeTimeout, "client went away: "+err.Error())
+			return
+		case errors.Is(err, shard.ErrOverloaded), errors.Is(err, shard.ErrDraining):
+			e := apiError(legacyText(err))
+			writeError(w, e.Code, e.Message)
+			return
+		case err != nil:
+			results[i].Error = apiError(err)
+		default:
+			m := api.MetricsFrom(out.Res.Prediction.Metrics)
+			results[i].Metrics = &m
+			results[i].Category = out.Res.Prediction.Category.String()
+			results[i].Confidence = out.Res.Prediction.Confidence
+			results[i].Generation = out.Gen
+		}
+		if sharded {
+			results[i].Shard = strconv.Itoa(out.Shard)
+			if err == nil && out.Served != out.Shard {
+				results[i].FallbackShard = strconv.Itoa(out.Served)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, api.PredictResponse{
+		Version: api.Version,
+		Model:   s.modelInfo(),
+		Results: results,
+	})
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, api.CodeMethod, "use POST")
 		return
 	}
 	observeRequests.Inc()
-	if s.sliding == nil {
+	if s.router != nil {
+		if !s.router.HasFeedback() {
+			writeError(w, api.CodeBadRequest, errNoFeedback.Error())
+			return
+		}
+	} else if s.sliding == nil {
 		writeError(w, api.CodeBadRequest, errNoFeedback.Error())
 		return
 	}
@@ -328,6 +466,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	accepted := 0
+	owner, sameOwner := -1, true // single-owner tracking for the shard field
 	for i, o := range req.Observations {
 		q, _, apiErr := s.planQuery(o.SQL)
 		if apiErr != nil {
@@ -336,12 +475,41 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Metrics = o.Metrics.Exec()
 		q.Category = workload.Categorize(q.Metrics.ElapsedSec)
-		if err := s.enqueueObservation(q); err != nil {
+		var err error
+		if s.router != nil {
+			var sh int
+			if sh, err = s.router.Observe(q); err == nil {
+				if owner == -1 {
+					owner = sh
+				} else if owner != sh {
+					sameOwner = false
+				}
+			}
+			err = legacyText(err)
+		} else {
+			err = s.enqueueObservation(q)
+		}
+		if err != nil {
 			e := apiError(err)
 			writeError(w, e.Code, fmt.Sprintf("observation %d: %s", i, e.Message))
 			return
 		}
 		accepted++
+	}
+	if s.router != nil {
+		resp := api.ObserveResponse{
+			Version:    api.Version,
+			Accepted:   accepted,
+			Generation: s.router.MaxGeneration(),
+		}
+		if s.router.Sharded() && sameOwner && owner >= 0 {
+			resp.Shard = strconv.Itoa(owner)
+			resp.WindowSize = s.router.Shard(owner).WindowSize()
+		} else {
+			resp.WindowSize = s.router.TotalWindow()
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+		return
 	}
 	gen := int64(0)
 	if m := s.slot.get(); m != nil {
@@ -371,8 +539,44 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}{api.Version, info})
 }
 
-// modelInfo snapshots the served model's metadata, or nil before boot.
+// modelInfo snapshots the served model's metadata, or nil before boot. On a
+// sharded daemon it aggregates: Generation is the highest per-shard
+// generation, TrainedOn/Swaps/WindowSize are totals, and the Shards and
+// Partitioner fields appear only when more than one shard runs (so the
+// single-shard wire format stays byte-identical to the unsharded daemon).
 func (s *Server) modelInfo() *api.ModelInfo {
+	if s.router != nil {
+		var info *api.ModelInfo
+		trained := 0
+		var swaps, maxGen int64
+		for i := 0; i < s.router.NumShards(); i++ {
+			m := s.router.Shard(i).Model()
+			if m == nil {
+				continue
+			}
+			if info == nil {
+				opt := m.Pred.Options()
+				info = &api.ModelInfo{Features: opt.Features.String(), TwoStep: opt.TwoStep}
+			}
+			trained += m.Pred.N()
+			swaps += m.Gen - 1
+			if m.Gen > maxGen {
+				maxGen = m.Gen
+			}
+		}
+		if info == nil {
+			return nil
+		}
+		info.Generation = maxGen
+		info.TrainedOn = trained
+		info.Swaps = swaps
+		info.WindowSize = s.router.TotalWindow()
+		if s.router.Sharded() {
+			info.Shards = s.router.NumShards()
+			info.Partitioner = s.router.Partitioner().Name()
+		}
+		return info
+	}
 	m := s.slot.get()
 	if m == nil {
 		return nil
@@ -387,4 +591,35 @@ func (s *Server) modelInfo() *api.ModelInfo {
 		Swaps:      m.gen - 1,
 		WindowSize: int(s.windowSize.Load()),
 	}
+}
+
+// handleShards serves GET /v1/shards: the routing policy and per-shard
+// model state of a sharded daemon.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, api.CodeMethod, "use GET")
+		return
+	}
+	if s.router == nil {
+		writeError(w, api.CodeBadRequest, "daemon is not sharded (start qpredictd with -shards)")
+		return
+	}
+	resp := api.ShardsResponse{Version: api.Version, Partitioner: s.router.Partitioner().Name()}
+	for i := 0; i < s.router.NumShards(); i++ {
+		sh := s.router.Shard(i)
+		si := api.ShardInfo{
+			ID:           sh.ID,
+			WindowSize:   sh.WindowSize(),
+			Predictions:  sh.Predictions(),
+			Observations: sh.Observed(),
+		}
+		if m := sh.Model(); m != nil {
+			si.Ready = true
+			si.Generation = m.Gen
+			si.Swaps = m.Gen - 1
+			si.TrainedOn = m.Pred.N()
+		}
+		resp.Shards = append(resp.Shards, si)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// newShardedServer builds a Server backed by the shard tier: n shards, each
+// booted from the fixture model with its own sliding window.
+func newShardedServer(t testing.TB, n int, part shard.Partitioner, capacity, every int) *Server {
+	t.Helper()
+	_, pred := fixture(t)
+	cfgs := make([]shard.ShardConfig, n)
+	for i := range cfgs {
+		sl, err := core.NewSliding(capacity, every, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = shard.ShardConfig{Boot: pred, Sliding: sl}
+	}
+	router, err := shard.NewRouter(cfgs, part, shard.Config{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(t)
+	cfg.Predictor = nil
+	cfg.Router = router
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// getBody fetches a URL and returns status + body.
+func getBody(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, readAll(t, resp)
+}
+
+// settleModel polls /v1/model until the reported window size and generation
+// reach want, returning the settled body.
+func settleModel(t testing.TB, url string, window int, gen int64) []byte {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, raw := getBody(t, url+"/v1/model")
+		var body struct {
+			Model *api.ModelInfo `json:"model"`
+		}
+		if json.Unmarshal(raw, &body) == nil && body.Model != nil &&
+			body.Model.WindowSize == window && body.Model.Generation == gen {
+			return raw
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("model never settled to window %d generation %d: %s", window, gen, raw)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardedSingleEquivalence is the tier's compatibility contract: a
+// one-shard sharded daemon must be byte-identical on the wire to the
+// unsharded daemon — same success bodies, same error bodies, same headers
+// that clients branch on — across predicts, observes, a background retrain
+// and the resulting hot swap. The only deliberate difference is
+// /v1/shards, which exists only on the sharded daemon.
+func TestShardedSingleEquivalence(t *testing.T) {
+	pool, _ := fixture(t)
+	const capacity, every = 30, 10
+
+	legacySliding, err := core.NewSliding(capacity, every, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyCfg := baseConfig(t)
+	legacyCfg.Sliding = legacySliding
+	legacy, err := New(legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+
+	sharded := newShardedServer(t, 1, shard.Passthrough{}, capacity, every)
+	defer sharded.Close()
+
+	lts := httptest.NewServer(legacy.Handler())
+	defer lts.Close()
+	sts := httptest.NewServer(sharded.Handler())
+	defer sts.Close()
+
+	// both drives one request against both servers and asserts the status,
+	// the body, and the Retry-After header are byte-identical.
+	both := func(label string, do func(base string) (*http.Response, []byte)) []byte {
+		t.Helper()
+		lresp, lraw := do(lts.URL)
+		sresp, sraw := do(sts.URL)
+		if lresp.StatusCode != sresp.StatusCode {
+			t.Fatalf("%s: status %d (legacy) vs %d (sharded)", label, lresp.StatusCode, sresp.StatusCode)
+		}
+		if !bytes.Equal(lraw, sraw) {
+			t.Fatalf("%s: bodies differ\nlegacy:  %s\nsharded: %s", label, lraw, sraw)
+		}
+		if la, sa := lresp.Header.Get("Retry-After"), sresp.Header.Get("Retry-After"); la != sa {
+			t.Fatalf("%s: Retry-After %q (legacy) vs %q (sharded)", label, la, sa)
+		}
+		return lraw
+	}
+	get := func(path string) func(string) (*http.Response, []byte) {
+		return func(base string) (*http.Response, []byte) {
+			resp, err := http.Get(base + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp, readAll(t, resp)
+		}
+	}
+	post := func(path string, body any) func(string) (*http.Response, []byte) {
+		return func(base string) (*http.Response, []byte) {
+			resp, raw := postJSON(t, base+path, body)
+			return resp, raw
+		}
+	}
+
+	// Boot state: readiness, model metadata.
+	both("readyz", get("/readyz"))
+	both("model", get("/v1/model"))
+
+	// Predictions: single, batch, mixed good/bad SQL.
+	both("predict single", post("/v1/predict", api.PredictRequest{SQL: pool.Queries[130].SQL}))
+	both("predict batch", post("/v1/predict", api.PredictRequest{Queries: []api.QueryInput{
+		{SQL: pool.Queries[121].SQL},
+		{SQL: "SELEC nonsense FROM ("},
+		{SQL: "SELECT COUNT(*) FROM no_such_table"},
+		{SQL: pool.Queries[122].SQL},
+	}}))
+
+	// Error paths: empty body, wrong method.
+	both("predict empty", post("/v1/predict", api.PredictRequest{}))
+	both("predict method", get("/v1/predict"))
+	both("observe empty", post("/v1/observe", api.ObserveRequest{}))
+
+	// Observe enough to cross the retrain threshold: both daemons train on
+	// the identical stream, and training is deterministic, so both swap in
+	// generation 2 models that answer identically. Observe responses report
+	// an asynchronously-updated window mirror, racy in *both*
+	// implementations — settle via /v1/model, whose body is then compared
+	// byte-for-byte, before comparing post-swap predictions.
+	var obs []api.Observation
+	for _, q := range pool.Queries[:every] {
+		obs = append(obs, api.Observation{SQL: q.SQL, Metrics: api.MetricsFrom(q.Metrics)})
+	}
+	lresp, lraw := postJSON(t, lts.URL+"/v1/observe", api.ObserveRequest{Observations: obs})
+	sresp, sraw := postJSON(t, sts.URL+"/v1/observe", api.ObserveRequest{Observations: obs})
+	if lresp.StatusCode != http.StatusAccepted || sresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("observe status %d / %d: %s / %s", lresp.StatusCode, sresp.StatusCode, lraw, sraw)
+	}
+	var lor, sor api.ObserveResponse
+	if err := json.Unmarshal(lraw, &lor); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(sraw, &sor); err != nil {
+		t.Fatal(err)
+	}
+	if lor.Accepted != sor.Accepted || sor.Shard != "" {
+		t.Fatalf("observe responses diverge: legacy %+v, sharded %+v", lor, sor)
+	}
+
+	lsettled := settleModel(t, lts.URL, every, 2)
+	ssettled := settleModel(t, sts.URL, every, 2)
+	if !bytes.Equal(lsettled, ssettled) {
+		t.Fatalf("settled model bodies differ\nlegacy:  %s\nsharded: %s", lsettled, ssettled)
+	}
+
+	raw := both("predict after swap", post("/v1/predict", api.PredictRequest{Queries: []api.QueryInput{
+		{SQL: pool.Queries[140].SQL}, {SQL: pool.Queries[141].SQL},
+	}}))
+	pr := decodePredict(t, raw)
+	if pr.Model.Generation != 2 || pr.Model.Swaps != 1 {
+		t.Fatalf("post-swap model %+v, want generation 2", pr.Model)
+	}
+	for i, res := range pr.Results {
+		if res.Error != nil || res.Shard != "" || res.Generation != 2 {
+			t.Fatalf("post-swap result %d: %+v", i, res)
+		}
+	}
+	if strings.Contains(string(raw), `"shards"`) || strings.Contains(string(raw), `"partitioner"`) {
+		t.Fatalf("single-shard response leaks shard fields: %s", raw)
+	}
+
+	// Drain: identical shutdown bodies.
+	legacy.Close()
+	sharded.Close()
+	both("draining predict", post("/v1/predict", api.PredictRequest{SQL: pool.Queries[130].SQL}))
+	both("draining readyz", get("/readyz"))
+
+	// The one deliberate difference: /v1/shards.
+	lst, _ := getBody(t, lts.URL+"/v1/shards")
+	if lst != http.StatusBadRequest {
+		t.Fatalf("unsharded /v1/shards status %d, want 400", lst)
+	}
+	sst, sbody := getBody(t, sts.URL+"/v1/shards")
+	if sst != http.StatusOK {
+		t.Fatalf("sharded /v1/shards status %d: %s", sst, sbody)
+	}
+	var sh api.ShardsResponse
+	if err := json.Unmarshal(sbody, &sh); err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Shards) != 1 || sh.Partitioner != "passthrough" || !sh.Shards[0].Ready {
+		t.Fatalf("shards body %s", sbody)
+	}
+	if sh.Shards[0].Generation != 2 || sh.Shards[0].TrainedOn != every {
+		t.Fatalf("shard 0 state %+v, want generation 2 trained on %d", sh.Shards[0], every)
+	}
+}
+
+// TestShardedServeHTTP exercises the multi-shard daemon over HTTP: shard
+// fields appear on results, the aggregate model view reports the tier, and
+// /v1/shards breaks it down per shard.
+func TestShardedServeHTTP(t *testing.T) {
+	pool, pred := fixture(t)
+	part := shard.NewHashPartitioner(4, core.DefaultOptions().Features)
+	s := newShardedServer(t, 4, part, 20, 5)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var inputs []api.QueryInput
+	for _, q := range pool.Queries[120:150] {
+		inputs = append(inputs, api.QueryInput{SQL: q.SQL})
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", api.PredictRequest{Queries: inputs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict %d: %s", resp.StatusCode, raw)
+	}
+	pr := decodePredict(t, raw)
+	if pr.Model == nil || pr.Model.Shards != 4 || pr.Model.Partitioner != "hash" {
+		t.Fatalf("model info %+v, want 4 shards via hash", pr.Model)
+	}
+	if pr.Model.TrainedOn != 4*pred.N() {
+		t.Errorf("trained_on %d, want %d (sum across shards)", pr.Model.TrainedOn, 4*pred.N())
+	}
+	seen := map[string]bool{}
+	for i, r := range pr.Results {
+		if r.Error != nil {
+			t.Fatalf("result %d: %+v", i, r.Error)
+		}
+		if r.Shard == "" {
+			t.Fatalf("result %d missing shard field: %+v", i, r)
+		}
+		if r.FallbackShard != "" {
+			t.Fatalf("result %d reports a fallback on a fully warm tier: %+v", i, r)
+		}
+		seen[r.Shard] = true
+		// Routing matches the partitioner run locally on the same plan.
+		want, err := part.RoutePredict(planLocal(t, r.SQL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Shard != fmt.Sprint(want) {
+			t.Errorf("result %d routed to shard %s, partitioner says %d", i, r.Shard, want)
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("30 queries all hashed to one shard: %v", seen)
+	}
+
+	// Observations land on their owning shards and /v1/shards reports them.
+	var obs []api.Observation
+	for _, q := range pool.Queries[:8] {
+		obs = append(obs, api.Observation{SQL: q.SQL, Metrics: api.MetricsFrom(q.Metrics)})
+	}
+	oresp, oraw := postJSON(t, ts.URL+"/v1/observe", api.ObserveRequest{Observations: obs})
+	if oresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("observe %d: %s", oresp.StatusCode, oraw)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, body := getBody(t, ts.URL+"/v1/shards")
+		if st != http.StatusOK {
+			t.Fatalf("shards %d: %s", st, body)
+		}
+		var sh api.ShardsResponse
+		if err := json.Unmarshal(body, &sh); err != nil {
+			t.Fatal(err)
+		}
+		if len(sh.Shards) != 4 || sh.Partitioner != "hash" {
+			t.Fatalf("shards body %s", body)
+		}
+		total, totalPred := 0, int64(0)
+		for _, si := range sh.Shards {
+			total += si.WindowSize
+			totalPred += si.Predictions
+		}
+		if total == len(obs) {
+			if totalPred < int64(len(inputs)) {
+				t.Fatalf("predictions across shards %d, want at least %d", totalPred, len(inputs))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("windows never absorbed %d observations: %s", len(obs), body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

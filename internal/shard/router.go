@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// Router-level metrics: where traffic lands, how often the warm fallback
+// rescues a cold shard, and how often routing itself fails.
+var (
+	routeHist      = obs.GetHistogram("serve.router.route")
+	routeFallbacks = obs.GetCounter("serve.router.fallbacks")
+	routeCold      = obs.GetCounter("serve.router.cold")
+	routeErrors    = obs.GetCounter("serve.router.errors")
+)
+
+// ShardConfig describes one shard at construction time.
+type ShardConfig struct {
+	// Boot, when non-nil, is published as the shard's generation 1 so the
+	// shard serves immediately.
+	Boot *core.Predictor
+	// Sliding, when non-nil, enables observation feedback and background
+	// retrains; the shard's observe goroutine takes sole ownership of it.
+	Sliding *core.SlidingPredictor
+}
+
+// Router fans predict and observe traffic across shards according to a
+// Partitioner, merging batch results in input order with per-request
+// errors preserved. Create with NewRouter, stop with Close.
+type Router struct {
+	shards []*Shard
+	part   Partitioner
+	// warmFallback routes a predict aimed at a cold shard to the warmest
+	// available shard (lowest-index ready shard) instead of failing it,
+	// until the owner's window reaches the training minimum and its first
+	// retrain lands.
+	warmFallback bool
+}
+
+// NewRouter builds one shard per ShardConfig and starts their background
+// loops. warmFallback enables cold-start rescue: predicts for a shard with
+// no model yet are served by the lowest-index ready shard until the owner
+// warms up (observations always go to the owner, so it does warm up).
+func NewRouter(shards []ShardConfig, part Partitioner, cfg Config, warmFallback bool) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	if part == nil {
+		return nil, fmt.Errorf("shard: router needs a partitioner")
+	}
+	cfg.fill()
+	r := &Router{part: part, warmFallback: warmFallback}
+	for i, sc := range shards {
+		if sc.Boot == nil && sc.Sliding == nil {
+			return nil, fmt.Errorf("shard: shard %d needs a boot predictor or a sliding window", i)
+		}
+		r.shards = append(r.shards, newShard(i, sc.Boot, sc.Sliding, cfg))
+	}
+	return r, nil
+}
+
+// Close drains every shard; safe to call more than once.
+func (r *Router) Close() {
+	for _, s := range r.shards {
+		s.close()
+	}
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Sharded reports whether the tier has more than one shard (when false the
+// serving layer keeps the unsharded wire format byte-identical).
+func (r *Router) Sharded() bool { return len(r.shards) > 1 }
+
+// Partitioner returns the router's partitioner.
+func (r *Router) Partitioner() Partitioner { return r.part }
+
+// Shard returns shard i.
+func (r *Router) Shard(i int) *Shard { return r.shards[i] }
+
+// HasFeedback reports whether any shard has a sliding window (observation
+// feedback). A router over static boot models serves predictions only.
+func (r *Router) HasFeedback() bool {
+	for _, s := range r.shards {
+		if s.sliding != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyReady reports whether at least one shard serves a model — the tier's
+// readiness condition (cold shards are rescued by the warm fallback or fail
+// per-request).
+func (r *Router) AnyReady() bool {
+	for _, s := range r.shards {
+		if s.Ready() {
+			return true
+		}
+	}
+	return false
+}
+
+// Target resolves the shard that will serve a predict for q: the
+// partitioner's pick, or — when that shard is cold and the warm fallback is
+// on — the lowest-index ready shard. The returned owner is the
+// partitioner's pick either way (it is what responses report). A cold
+// target with no rescue available returns core.ErrNotTrained.
+func (r *Router) Target(q *dataset.Query) (sh *Shard, owner int, err error) {
+	owner, err = r.part.RoutePredict(q)
+	if err != nil {
+		routeErrors.Inc()
+		return nil, 0, err
+	}
+	if owner < 0 || owner >= len(r.shards) {
+		routeErrors.Inc()
+		return nil, 0, fmt.Errorf("shard: partitioner %s routed to %d of %d shards", r.part.Name(), owner, len(r.shards))
+	}
+	routeHist.Observe(float64(owner))
+	if s := r.shards[owner]; s.Ready() {
+		return s, owner, nil
+	}
+	routeCold.Inc()
+	if r.warmFallback {
+		for _, s := range r.shards {
+			if s.Ready() {
+				routeFallbacks.Inc()
+				return s, owner, nil
+			}
+		}
+	}
+	return nil, owner, fmt.Errorf("%w: shard %d has no model yet", core.ErrNotTrained, owner)
+}
+
+// Outcome is the result of one routed prediction: the shard that owns the
+// query, the generation that answered, and either a prediction (in
+// Res.Prediction) or an error. Routing and queueing failures land in Err;
+// model-level failures land in Res.Err.
+type Outcome struct {
+	Res core.Result
+	Gen int64
+	// Shard is the owning shard per the partitioner (what responses
+	// report), even when the warm fallback served the request.
+	Shard int
+	// Served is the shard that actually answered — equal to Shard except
+	// when the cold-start fallback rerouted the request to a warm shard.
+	Served int
+	Err    error
+}
+
+// Predict routes each planned query to its shard, fans the batch out, and
+// merges the results back in input order. Per-request errors are preserved
+// — a query that fails to route, overflows its shard's queue, or misses the
+// context deadline fails alone without voiding its neighbors. The context
+// bounds the whole fan-out: when it expires, still-pending outcomes carry
+// ctx.Err() and their items are abandoned (the owning shard skips them).
+func (r *Router) Predict(ctx context.Context, qs []*dataset.Query) []Outcome {
+	outs := make([]Outcome, len(qs))
+	items := make([]*Item, len(qs))
+	for i, q := range qs {
+		sh, owner, err := r.Target(q)
+		outs[i].Shard = owner
+		if err != nil {
+			outs[i].Served = owner
+			outs[i].Err = err
+			continue
+		}
+		outs[i].Served = sh.ID
+		it := &Item{Ctx: ctx, Req: core.Request{Query: q}, Done: make(chan struct{})}
+		if err := sh.Submit(it); err != nil {
+			outs[i].Err = err
+			continue
+		}
+		items[i] = it
+	}
+	for i, it := range items {
+		if it == nil {
+			continue
+		}
+		select {
+		case <-it.Done:
+			outs[i].Res = it.Res
+			outs[i].Gen = it.Gen
+		case <-ctx.Done():
+			outs[i].Err = ctx.Err()
+		}
+	}
+	return outs
+}
+
+// Observe routes one executed query (Metrics and Category populated) to its
+// owning shard's feedback queue. Observations never fall back: they must
+// warm the owner. Returns the owning shard index.
+func (r *Router) Observe(q *dataset.Query) (int, error) {
+	owner, err := r.part.RouteObserve(q)
+	if err != nil {
+		routeErrors.Inc()
+		return 0, err
+	}
+	if owner < 0 || owner >= len(r.shards) {
+		routeErrors.Inc()
+		return 0, fmt.Errorf("shard: partitioner %s routed to %d of %d shards", r.part.Name(), owner, len(r.shards))
+	}
+	return owner, r.shards[owner].Observe(q)
+}
+
+// ObserveSync applies one observation synchronously on the caller's
+// goroutine, retraining and hot-swapping inline when due — the embedding
+// and benchmark path (no HTTP, no background queue). Do not mix with
+// concurrent Observe traffic on the same shard: both paths are safe, but
+// interleaving makes retrain timing nondeterministic.
+func (r *Router) ObserveSync(q *dataset.Query) (int, error) {
+	owner, err := r.part.RouteObserve(q)
+	if err != nil {
+		return 0, err
+	}
+	if owner < 0 || owner >= len(r.shards) {
+		return 0, fmt.Errorf("shard: partitioner %s routed to %d of %d shards", r.part.Name(), owner, len(r.shards))
+	}
+	s := r.shards[owner]
+	if s.sliding == nil {
+		return owner, fmt.Errorf("shard %d: no sliding window (static model)", owner)
+	}
+	return owner, s.observeSync(q)
+}
+
+// TotalWindow sums the mirrored window occupancy across shards.
+func (r *Router) TotalWindow() int {
+	total := 0
+	for _, s := range r.shards {
+		total += s.WindowSize()
+	}
+	return total
+}
+
+// MaxGeneration returns the highest generation served by any shard (0 when
+// every shard is cold).
+func (r *Router) MaxGeneration() int64 {
+	var max int64
+	for _, s := range r.shards {
+		if m := s.Model(); m != nil && m.Gen > max {
+			max = m.Gen
+		}
+	}
+	return max
+}

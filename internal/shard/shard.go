@@ -1,0 +1,374 @@
+// Package shard is the multi-model serving tier: it partitions observe and
+// predict traffic across per-shard core.SlidingPredictors, each with its
+// own window, model generation, micro-batch coalescer, and background
+// retrain loop — the LinkedIn production finding (per-workload models beat
+// one global model) turned into infrastructure. A Router owns N Shards and
+// a pluggable Partitioner; predict requests are routed to the owning shard
+// (falling back to a warm shard while the owner is cold), multi-request
+// batches fan out and merge back in input order with per-request errors
+// preserved, and each shard retrains from only its own observations — so
+// retrain cost scales with per-shard window size instead of fleet size,
+// compounding the incremental-retrain machinery of internal/kcca.
+//
+// The hot-swap discipline is the one internal/serve established for the
+// single-model daemon, factored into Slot: predictions read an atomic
+// pointer, completed retrains swap a new generation in without blocking a
+// read, and generations only move forward. With one shard and the
+// passthrough partitioner the tier is behaviorally identical to the
+// unsharded daemon (equivalence-tested in internal/serve).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// Tier-wide serving metrics, shared with internal/serve's registry names so
+// dashboards see one continuous series whether the daemon is sharded or
+// not. Per-shard instruments (serve.shard.<id>.*) live on each Shard.
+var (
+	batchSizeHist = obs.GetHistogram("serve.batch.size")
+	modelSwaps    = obs.GetCounter("serve.model.swaps")
+	retrainErrors = obs.GetCounter("serve.retrain.errors")
+	rejectedLoad  = obs.GetCounter("serve.rejected.overload")
+)
+
+// Sentinel errors of the shard tier.
+var (
+	// ErrOverloaded: the target shard's bounded queue is full; shed and
+	// retry (HTTP 429 at the serving layer).
+	ErrOverloaded = errors.New("shard: request queue is full")
+	// ErrDraining: the tier is shutting down.
+	ErrDraining = errors.New("shard: tier is draining")
+	// ErrNoShards: a router was built with zero shards.
+	ErrNoShards = errors.New("shard: router has no shards")
+)
+
+// Item is one prediction riding through a shard's coalescer. The caller
+// that submitted it waits on Done; the shard's batch loop fills Res and Gen
+// then closes Done (the close is the happens-before edge publishing the
+// result). Ctx is the submitting request's context: an item whose context
+// is already done when its micro-batch runs is answered with the context
+// error and skipped, so abandoned requests never consume predict work and a
+// stalled shard's queue drains in O(queue) once it resumes.
+type Item struct {
+	Ctx  context.Context
+	Req  core.Request
+	Res  core.Result
+	Gen  int64
+	Sh   int
+	Done chan struct{}
+}
+
+// Config carries the per-shard serving knobs, shared by every shard of one
+// Router.
+type Config struct {
+	// Window is how long a shard's coalescer holds an open micro-batch for
+	// more arrivals. Zero still sweeps already-queued items but never waits.
+	Window time.Duration
+	// MaxBatch caps a micro-batch (default 64).
+	MaxBatch int
+	// QueueCap bounds each shard's pending queue; submissions beyond it are
+	// rejected with ErrOverloaded (default 1024).
+	QueueCap int
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+}
+
+// Shard is one model partition: a sliding retraining window, a
+// hot-swappable model slot, a micro-batch coalescer, and an observe loop —
+// the full serving spine of the unsharded daemon, owned per partition so
+// shards never contend. Create via NewRouter.
+type Shard struct {
+	// ID is the shard's index in its router, also the <id> of its
+	// serve.shard.<id>.* metrics.
+	ID  int
+	cfg Config
+
+	slot    Slot
+	sliding *core.SlidingPredictor
+
+	mu     sync.RWMutex // guards closed + sends on queue/observeCh
+	closed bool
+
+	queue        chan *Item
+	coalesceDone chan struct{}
+
+	observeCh   chan *dataset.Query
+	observeDone chan struct{}
+	// windowSize mirrors the sliding window's occupancy so callers can
+	// report it without touching the goroutine-owned SlidingPredictor.
+	windowSize atomic.Int64
+	// nPredicts/nObserved are this instance's own counts. The obs metrics
+	// below are process-global (keyed by shard index, shared across router
+	// instances); these are what /v1/shards and tests read.
+	nPredicts atomic.Int64
+	nObserved atomic.Int64
+
+	// Per-shard instruments.
+	mWindow   *obs.Gauge
+	mSwaps    *obs.Counter
+	mPredicts *obs.Counter
+	mObserved *obs.Counter
+
+	// batchHook, when set (tests only), runs before each micro-batch is
+	// predicted — it is how tests make one shard artificially slow.
+	batchHook func()
+}
+
+// newShard wires one shard. boot (optional) is published as generation 1;
+// sliding (optional) enables observation feedback and background retrains.
+func newShard(id int, boot *core.Predictor, sliding *core.SlidingPredictor, cfg Config) *Shard {
+	s := &Shard{
+		ID:           id,
+		cfg:          cfg,
+		sliding:      sliding,
+		queue:        make(chan *Item, cfg.QueueCap),
+		coalesceDone: make(chan struct{}),
+		mWindow:      obs.GetGauge(fmt.Sprintf("serve.shard.%d.window", id)),
+		mSwaps:       obs.GetCounter(fmt.Sprintf("serve.shard.%d.swaps", id)),
+		mPredicts:    obs.GetCounter(fmt.Sprintf("serve.shard.%d.predictions", id)),
+		mObserved:    obs.GetCounter(fmt.Sprintf("serve.shard.%d.observed", id)),
+	}
+	if boot != nil {
+		s.slot.Swap(boot)
+	} else if sliding != nil && sliding.Ready() {
+		s.slot.Swap(sliding.Current())
+	}
+	go s.coalesceLoop()
+	if sliding != nil {
+		s.observeCh = make(chan *dataset.Query, cfg.QueueCap)
+		s.observeDone = make(chan struct{})
+		s.windowSize.Store(int64(sliding.WindowSize()))
+		s.mWindow.Set(s.windowSize.Load())
+		go s.observeLoop()
+	}
+	return s
+}
+
+// Ready reports whether this shard serves a model.
+func (s *Shard) Ready() bool { return s.slot.Get() != nil }
+
+// Model returns the shard's current served model, or nil while cold.
+func (s *Shard) Model() *Served { return s.slot.Get() }
+
+// WindowSize returns the mirrored occupancy of the shard's sliding window.
+func (s *Shard) WindowSize() int { return int(s.windowSize.Load()) }
+
+// Predictions returns how many predictions this shard has served.
+func (s *Shard) Predictions() int64 { return s.nPredicts.Load() }
+
+// Observed returns how many observations this shard has applied.
+func (s *Shard) Observed() int64 { return s.nObserved.Load() }
+
+// Submit hands an item to the shard's coalescer without blocking: a full
+// queue sheds load with ErrOverloaded instead of stacking goroutines.
+func (s *Shard) Submit(it *Item) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrDraining
+	}
+	it.Sh = s.ID
+	select {
+	case s.queue <- it:
+		return nil
+	default:
+		rejectedLoad.Inc()
+		return ErrOverloaded
+	}
+}
+
+// Observe hands one executed query to the shard's observe loop without
+// blocking: a full feedback queue sheds load rather than stalling the
+// write path. The retrain (and any resulting hot swap) happens in the
+// background.
+func (s *Shard) Observe(q *dataset.Query) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrDraining
+	}
+	if s.observeCh == nil {
+		return fmt.Errorf("shard %d: no sliding window (static model)", s.ID)
+	}
+	select {
+	case s.observeCh <- q:
+		return nil
+	default:
+		rejectedLoad.Inc()
+		return ErrOverloaded
+	}
+}
+
+// observeSync applies one observation synchronously on the caller's
+// goroutine — the embedding/benchmark path, bypassing the observe queue.
+// SlidingPredictor is internally synchronized, so this is safe alongside
+// the background loop, but the two paths share the same swap bookkeeping.
+func (s *Shard) observeSync(q *dataset.Query) error {
+	before := s.sliding.Retrains()
+	err := s.sliding.Observe(q)
+	s.afterObserve(before, err)
+	return err
+}
+
+// afterObserve updates mirrors and publishes a completed retrain.
+func (s *Shard) afterObserve(retrainsBefore int, err error) {
+	if err != nil {
+		// A failed retrain (for example a degenerate window) keeps the
+		// previous model serving; the observation itself is retained.
+		retrainErrors.Inc()
+	}
+	s.windowSize.Store(int64(s.sliding.WindowSize()))
+	s.mWindow.Set(s.windowSize.Load())
+	s.nObserved.Add(1)
+	s.mObserved.Inc()
+	if s.sliding.Retrains() != retrainsBefore {
+		s.slot.Swap(s.sliding.Current())
+		s.mSwaps.Inc()
+		modelSwaps.Inc()
+	}
+}
+
+// observeLoop is the single goroutine driving this shard's
+// SlidingPredictor: observations stream in through the bounded channel, the
+// window's periodic retrains happen here off the request path, and each
+// completed retrain is atomically swapped into the shard's slot.
+func (s *Shard) observeLoop() {
+	defer close(s.observeDone)
+	for q := range s.observeCh {
+		before := s.sliding.Retrains()
+		err := s.sliding.Observe(q)
+		s.afterObserve(before, err)
+	}
+}
+
+// coalesceLoop gathers concurrently submitted items into micro-batches,
+// exactly as the unsharded daemon's coalescer does — but per shard, so a
+// slow shard stalls only its own queue and unrelated requests on other
+// shards proceed within their own deadlines.
+func (s *Shard) coalesceLoop() {
+	defer close(s.coalesceDone)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*Item, 0, s.cfg.MaxBatch), first)
+		if s.cfg.Window > 0 {
+			timer := time.NewTimer(s.cfg.Window)
+			for len(batch) < s.cfg.MaxBatch {
+				stop := false
+				select {
+				case it, ok := <-s.queue:
+					if !ok {
+						stop = true
+						break
+					}
+					batch = append(batch, it)
+				case <-timer.C:
+					stop = true
+				}
+				if stop {
+					break
+				}
+			}
+			timer.Stop()
+		} else {
+			for len(batch) < s.cfg.MaxBatch {
+				stop := false
+				select {
+				case it, ok := <-s.queue:
+					if !ok {
+						stop = true
+						break
+					}
+					batch = append(batch, it)
+				default:
+					stop = true
+				}
+				if stop {
+					break
+				}
+			}
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch answers one micro-batch with one model: the slot is read once,
+// so every item in the batch is served by the same generation even while
+// retrains swap the slot concurrently. Items whose submitting context is
+// already done are answered with its error and excluded from the predict
+// call — an abandoned request costs nothing past its deadline.
+func (s *Shard) runBatch(batch []*Item) {
+	if s.batchHook != nil {
+		s.batchHook()
+	}
+	live := batch[:0]
+	for _, it := range batch {
+		if it.Ctx != nil {
+			select {
+			case <-it.Ctx.Done():
+				it.Res.Err = it.Ctx.Err()
+				close(it.Done)
+				continue
+			default:
+			}
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	batchSizeHist.Observe(float64(len(live)))
+	m := s.slot.Get()
+	reqs := make([]core.Request, len(live))
+	for i, b := range live {
+		reqs[i] = b.Req
+	}
+	results := m.Pred.Predict(reqs...)
+	s.nPredicts.Add(int64(len(live)))
+	s.mPredicts.Add(int64(len(live)))
+	for i, b := range live {
+		b.Res = results[i]
+		b.Gen = m.Gen
+		close(b.Done)
+	}
+}
+
+// close drains the shard: new submissions are refused, in-flight
+// micro-batches and queued observations finish, and both background
+// goroutines exit before close returns. Idempotent.
+func (s *Shard) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	if s.observeCh != nil {
+		close(s.observeCh)
+	}
+	s.mu.Unlock()
+	<-s.coalesceDone
+	if s.observeDone != nil {
+		<-s.observeDone
+	}
+}

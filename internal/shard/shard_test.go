@@ -1,0 +1,471 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// Shared fixture: one generated pool and one trained model (training
+// dominates test time).
+var (
+	fixOnce sync.Once
+	fixPool *dataset.Dataset
+	fixPred *core.Predictor
+	fixErr  error
+)
+
+func fixture(t testing.TB) (*dataset.Dataset, *core.Predictor) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixPool, fixErr = dataset.Generate(dataset.GenConfig{
+			Seed: 5, DataSeed: 77, Machine: exec.Research4(),
+			Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: 160,
+		})
+		if fixErr != nil {
+			return
+		}
+		fixPred, fixErr = core.Train(fixPool.Queries[:120], core.DefaultOptions())
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixPool, fixPred
+}
+
+// funcPartitioner routes through a test-supplied function, giving tests
+// exact control over which shard owns which query.
+type funcPartitioner struct {
+	n string
+	f func(q *dataset.Query) (int, error)
+}
+
+func (p funcPartitioner) Name() string                               { return p.n }
+func (p funcPartitioner) RoutePredict(q *dataset.Query) (int, error) { return p.f(q) }
+func (p funcPartitioner) RouteObserve(q *dataset.Query) (int, error) { return p.f(q) }
+
+func newSliding(t testing.TB, capacity, every int) *core.SlidingPredictor {
+	t.Helper()
+	sl, err := core.NewSliding(capacity, every, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+// TestRouterFanoutOrder is the fan-out ordering property test: a shuffled
+// batch spanning every shard — including queries whose routing fails — must
+// come back with result i belonging to input i and errors pinned to the
+// requests that caused them, while concurrent observations hot-swap shard
+// models underneath the batch. Run under -race in CI.
+func TestRouterFanoutOrder(t *testing.T) {
+	pool, pred := fixture(t)
+	const shards = 3
+	cfgs := make([]ShardConfig, shards)
+	for i := range cfgs {
+		cfgs[i] = ShardConfig{Boot: pred, Sliding: newSliding(t, 40, 5)}
+	}
+	errUnroutable := errors.New("unroutable")
+	part := funcPartitioner{n: "by-id", f: func(q *dataset.Query) (int, error) {
+		if q.ID%7 == 0 {
+			return 0, errUnroutable
+		}
+		return q.ID % shards, nil
+	}}
+	r, err := NewRouter(cfgs, part, Config{MaxBatch: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Concurrent feedback drives retrains and hot swaps on every shard
+	// while batches are in flight.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := pool.Queries[i%120]
+			if q.ID%7 != 0 {
+				r.Observe(q)
+			}
+			i++
+		}
+	}()
+
+	rnd := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		qs := make([]*dataset.Query, 40)
+		for i := range qs {
+			qs[i] = pool.Queries[rnd.Intn(len(pool.Queries))]
+		}
+		outs := r.Predict(context.Background(), qs)
+		if len(outs) != len(qs) {
+			t.Fatalf("round %d: %d outcomes for %d queries", round, len(outs), len(qs))
+		}
+		for i, out := range outs {
+			if qs[i].ID%7 == 0 {
+				if !errors.Is(out.Err, errUnroutable) {
+					t.Fatalf("round %d result %d (query %d): err = %v, want routing error pinned here",
+						round, i, qs[i].ID, out.Err)
+				}
+				continue
+			}
+			want := qs[i].ID % shards
+			if out.Shard != want || out.Served != want {
+				t.Fatalf("round %d result %d: shard %d/%d, want %d", round, i, out.Shard, out.Served, want)
+			}
+			if out.Err != nil || out.Res.Err != nil {
+				t.Fatalf("round %d result %d: unexpected error %v / %v", round, i, out.Err, out.Res.Err)
+			}
+			if out.Res.Prediction == nil || out.Gen < 1 {
+				t.Fatalf("round %d result %d: incomplete outcome %+v", round, i, out)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestColdStartFallback covers the cold-shard paths: with the warm fallback
+// a cold shard's traffic is served by a ready shard (and reported as such);
+// without it the request fails alone with ErrNotTrained; and once the owner
+// warms up through its own observations, it takes over.
+func TestColdStartFallback(t *testing.T) {
+	pool, pred := fixture(t)
+	toOne := funcPartitioner{n: "to-1", f: func(*dataset.Query) (int, error) { return 1, nil }}
+	mk := func(fallback bool) *Router {
+		r, err := NewRouter([]ShardConfig{
+			{Boot: pred},
+			{Sliding: newSliding(t, 20, 5)}, // cold: no boot model
+		}, toOne, Config{}, fallback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	q := pool.Queries[130]
+
+	// Fallback on: shard 1 owns the query, shard 0 answers it.
+	r := mk(true)
+	outs := r.Predict(context.Background(), []*dataset.Query{q})
+	if outs[0].Err != nil || outs[0].Res.Err != nil {
+		t.Fatalf("fallback predict failed: %v / %v", outs[0].Err, outs[0].Res.Err)
+	}
+	if outs[0].Shard != 1 || outs[0].Served != 0 {
+		t.Fatalf("owner/served = %d/%d, want 1/0", outs[0].Shard, outs[0].Served)
+	}
+
+	// Warm the owner through its own observations: after the first retrain
+	// it serves its own traffic.
+	for i := 0; i < 5; i++ {
+		if _, err := r.ObserveSync(pool.Queries[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if !r.Shard(1).Ready() {
+		t.Fatal("shard 1 still cold after enough observations for a retrain")
+	}
+	outs = r.Predict(context.Background(), []*dataset.Query{q})
+	if outs[0].Shard != 1 || outs[0].Served != 1 || outs[0].Res.Err != nil {
+		t.Fatalf("warmed owner not serving: %+v", outs[0])
+	}
+	r.Close()
+
+	// Fallback off: the cold shard's request fails alone.
+	r = mk(false)
+	defer r.Close()
+	outs = r.Predict(context.Background(), []*dataset.Query{q})
+	if !errors.Is(outs[0].Err, core.ErrNotTrained) {
+		t.Fatalf("cold predict err = %v, want ErrNotTrained", outs[0].Err)
+	}
+}
+
+// TestSlowShardIsolation is the regression test for per-request context
+// propagation into the batch path: one shard stalls mid-batch, and (a) a
+// concurrent request on the other shard completes within its own deadline,
+// (b) the stalled request's abandoned item is skipped — never predicted —
+// once the shard resumes.
+func TestSlowShardIsolation(t *testing.T) {
+	pool, pred := fixture(t)
+	byID := funcPartitioner{n: "by-id", f: func(q *dataset.Query) (int, error) { return q.ID % 2, nil }}
+	r, err := NewRouter([]ShardConfig{{Boot: pred}, {Boot: pred}}, byID, Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	release := make(chan struct{})
+	stalled := make(chan struct{})
+	var once sync.Once
+	r.Shard(0).batchHook = func() {
+		once.Do(func() { close(stalled) })
+		<-release
+	}
+
+	var q0, q1 *dataset.Query
+	for _, q := range pool.Queries[120:] {
+		if q.ID%2 == 0 && q0 == nil {
+			q0 = q
+		}
+		if q.ID%2 == 1 && q1 == nil {
+			q1 = q
+		}
+	}
+
+	// Stall shard 0 with a request whose context we cancel while it waits.
+	ctx0, cancel0 := context.WithCancel(context.Background())
+	slowDone := make(chan Outcome, 1)
+	go func() { slowDone <- r.Predict(ctx0, []*dataset.Query{q0})[0] }()
+	<-stalled
+
+	// Shard 1 must serve promptly while shard 0 is wedged.
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel1()
+	start := time.Now()
+	outs := r.Predict(ctx1, []*dataset.Query{q1})
+	if outs[0].Err != nil || outs[0].Res.Err != nil {
+		t.Fatalf("healthy shard failed during sibling stall: %v / %v", outs[0].Err, outs[0].Res.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("healthy shard took %v during sibling stall", elapsed)
+	}
+
+	// Abandon the stalled request, then let shard 0 resume: the dead item
+	// must be answered with the context error and skipped, not predicted.
+	cancel0()
+	out := <-slowDone
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("stalled request err = %v, want context.Canceled", out.Err)
+	}
+	before := r.Shard(0).Predictions()
+	close(release)
+	// A fresh request proves the shard recovered and serves again.
+	outs = r.Predict(context.Background(), []*dataset.Query{q0})
+	if outs[0].Res.Err != nil || outs[0].Err != nil {
+		t.Fatalf("shard 0 did not recover: %v / %v", outs[0].Err, outs[0].Res.Err)
+	}
+	// Exactly the fresh request was predicted; the abandoned item was not.
+	if got := r.Shard(0).Predictions(); got != before+1 {
+		t.Fatalf("shard 0 predictions %d, want %d (abandoned item must be skipped)", got, before+1)
+	}
+}
+
+// TestFingerprintDeterminism is the cross-package determinism check: the
+// consistent-hash partitioner must key its ring lookups by exactly the
+// fingerprint the projection cache uses — core.Fingerprint of the query's
+// feature vector — and that fingerprint must be stable across calls and
+// processes (FNV-1a is a fixed function of the bits).
+func TestFingerprintDeterminism(t *testing.T) {
+	pool, _ := fixture(t)
+	kind := core.DefaultOptions().Features
+	p := NewHashPartitioner(4, kind)
+	p2 := NewHashPartitioner(4, kind)
+	for _, q := range pool.Queries[:40] {
+		fp, err := core.QueryFingerprint(q, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp2, err := core.QueryFingerprint(q, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != fp2 {
+			t.Fatalf("query %d: fingerprint unstable across calls: %x vs %x", q.ID, fp, fp2)
+		}
+		sh, err := p.RoutePredict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := p.Locate(fp); sh != want {
+			t.Fatalf("query %d: RoutePredict %d, Locate(core.QueryFingerprint) %d", q.ID, sh, want)
+		}
+		if sh2, _ := p2.RoutePredict(q); sh2 != sh {
+			t.Fatalf("query %d: two identically built rings disagree: %d vs %d", q.ID, sh, sh2)
+		}
+		if obsSh, _ := p.RouteObserve(q); obsSh != sh {
+			t.Fatalf("query %d: predict/observe routing disagree: %d vs %d", q.ID, sh, obsSh)
+		}
+	}
+	// The function itself is a fixture: FNV-1a over IEEE-754 bit patterns,
+	// pinned so an accidental algorithm change cannot silently remap every
+	// projection-cache key and shard assignment.
+	if got := core.Fingerprint([]float64{1, 2, 3}); got != 0xe2d5ae79fc4e9a70 {
+		t.Fatalf("core.Fingerprint([1 2 3]) = %#x, want the pinned FNV-1a value", got)
+	}
+	if core.Fingerprint([]float64{0}) == core.Fingerprint([]float64{}) {
+		t.Fatal("fingerprint must distinguish [0] from []")
+	}
+}
+
+// TestHashRingConsistency checks the consistent part of consistent hashing:
+// growing the fleet reassigns only the keys whose arc a new shard claimed —
+// about 1/(n+1) of them — instead of reshuffling everything.
+func TestHashRingConsistency(t *testing.T) {
+	p4 := NewHashPartitioner(4, core.PlanFeatures)
+	p5 := NewHashPartitioner(5, core.PlanFeatures)
+	const keys = 20000
+	moved, toNew := 0, 0
+	for i := 0; i < keys; i++ {
+		key := core.Fingerprint([]float64{float64(i), float64(i * 31)})
+		a, b := p4.Locate(key), p5.Locate(key)
+		if a != b {
+			moved++
+			if b == 4 {
+				toNew++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved when adding a shard — ring is not being consulted")
+	}
+	if frac := float64(moved) / keys; frac > 0.5 {
+		t.Fatalf("%.1f%% of keys moved when growing 4→5 shards; consistent hashing should move ~20%%", frac*100)
+	}
+	if toNew != moved {
+		t.Errorf("%d of %d moved keys went somewhere other than the new shard", moved-toNew, moved)
+	}
+	// Balance: no shard owns a wildly outsized arc share.
+	counts := make([]int, 4)
+	for i := 0; i < keys; i++ {
+		counts[p4.Locate(core.Fingerprint([]float64{float64(i), float64(i * 31)}))]++
+	}
+	for s, c := range counts {
+		if c < keys/16 || c > keys/2 {
+			t.Errorf("shard %d owns %d of %d keys — ring badly unbalanced: %v", s, c, keys, counts)
+		}
+	}
+}
+
+// TestCategoryPartitioner checks the workload-category policy: observations
+// route by measured class, predictions by the optimizer's cost estimate
+// through the same category boundaries, both within shard bounds.
+func TestCategoryPartitioner(t *testing.T) {
+	pool, _ := fixture(t)
+	p := NewCategoryPartitioner(3)
+	seen := map[int]bool{}
+	for _, q := range pool.Queries {
+		obsSh, err := p.RouteObserve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int(q.Category) % 3; obsSh != want {
+			t.Fatalf("query %d (category %v): observe shard %d, want %d", q.ID, q.Category, obsSh, want)
+		}
+		predSh, err := p.RoutePredict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if predSh < 0 || predSh >= 3 {
+			t.Fatalf("query %d: predict shard %d out of range", q.ID, predSh)
+		}
+		seen[obsSh] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("all observations landed on one shard; categories not spreading: %v", seen)
+	}
+	if _, err := p.RoutePredict(&dataset.Query{SQL: "x"}); !errors.Is(err, core.ErrNoPlan) {
+		t.Errorf("unplanned predict err = %v, want ErrNoPlan", err)
+	}
+}
+
+// TestRouterObserveWarmsOwner checks that observations never fall back:
+// they go to the owner, whose window and observed counter grow.
+func TestRouterObserveWarmsOwner(t *testing.T) {
+	pool, pred := fixture(t)
+	toOne := funcPartitioner{n: "to-1", f: func(*dataset.Query) (int, error) { return 1, nil }}
+	r, err := NewRouter([]ShardConfig{
+		{Boot: pred},
+		{Sliding: newSliding(t, 20, 5)},
+	}, toOne, Config{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 7; i++ {
+		sh, err := r.Observe(pool.Queries[i])
+		if err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		if sh != 1 {
+			t.Fatalf("observation routed to shard %d, want owner 1", sh)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for r.Shard(1).WindowSize() < 7 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 window stuck at %d, want 7", r.Shard(1).WindowSize())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Shard(0).WindowSize() != 0 || r.Shard(0).Observed() != 0 {
+		t.Errorf("observations leaked to shard 0 (window %d, observed %d)",
+			r.Shard(0).WindowSize(), r.Shard(0).Observed())
+	}
+	if got := r.TotalWindow(); got != 7 {
+		t.Errorf("TotalWindow %d, want 7", got)
+	}
+}
+
+// BenchmarkShardedObserveRetrain measures the observe+retrain pipeline at a
+// fixed total window, varying only the shard count: sharding divides the
+// retrain working set, so per-observation cost should fall as shards grow
+// (the reason the tier exists). Recorded in BENCH_shard.json.
+func BenchmarkShardedObserveRetrain(b *testing.B) {
+	pool, pred := fixture(b)
+	const totalWindow = 120
+	const totalEvery = 24
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cap := totalWindow / shards
+			every := totalEvery / shards
+			if every < 1 {
+				every = 1
+			}
+			cfgs := make([]ShardConfig, shards)
+			for i := range cfgs {
+				sl, err := core.NewSliding(cap, every, core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfgs[i] = ShardConfig{Boot: pred, Sliding: sl}
+			}
+			part := NewHashPartitioner(shards, core.DefaultOptions().Features)
+			r, err := NewRouter(cfgs, part, Config{}, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			// Prefill every window to capacity so the steady state — full
+			// windows, periodic retrains — is what gets measured.
+			for i := 0; i < totalWindow*2; i++ {
+				if _, err := r.ObserveSync(pool.Queries[i%len(pool.Queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ObserveSync(pool.Queries[i%len(pool.Queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

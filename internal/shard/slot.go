@@ -1,0 +1,40 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Served is one immutable model plus its generation tag. A trained
+// core.Predictor is never mutated after training returns, so readers may
+// use it lock-free for as long as they hold the pointer; a hot swap only
+// replaces which pointer new readers pick up. The generation also scopes
+// the predictor's internal projection cache: each Predictor carries its
+// own, so swapping generations retires every cached projection of the
+// previous model wholesale.
+type Served struct {
+	Pred *core.Predictor
+	Gen  int64
+}
+
+// Slot is the atomically hot-swappable model holder — the same discipline
+// internal/serve established for the single-model daemon, factored out so
+// every shard carries its own: reads are a single atomic pointer load on
+// the predict path, swaps publish a freshly trained model without blocking
+// a single in-flight prediction, and generations only ever move forward.
+type Slot struct {
+	cur  atomic.Pointer[Served]
+	gens atomic.Int64
+}
+
+// Get returns the current model, or nil before the first swap.
+func (s *Slot) Get() *Served { return s.cur.Load() }
+
+// Swap publishes a new model and returns its generation (1 for the boot
+// model).
+func (s *Slot) Swap(p *core.Predictor) int64 {
+	gen := s.gens.Add(1)
+	s.cur.Store(&Served{Pred: p, Gen: gen})
+	return gen
+}

@@ -1,0 +1,139 @@
+package qpredictclient
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/api"
+)
+
+// ErrBatcherClosed is returned by Batcher.Predict after Close.
+var ErrBatcherClosed = errors.New("qpredictclient: batcher is closed")
+
+// pending is one caller waiting inside an open client-side batch.
+type pending struct {
+	sql  string
+	res  *api.QueryResult
+	err  error
+	done chan struct{}
+}
+
+// Batcher coalesces concurrent single-query predictions into batched wire
+// requests — the client-side mirror of the daemon's micro-batch coalescer.
+// Callers each see their own result (or error); a whole-request failure
+// fans back to every caller in the batch. Create with NewBatcher, release
+// with Close.
+type Batcher struct {
+	c        *Client
+	window   time.Duration
+	maxBatch int
+	in       chan *pending
+	closed   chan struct{}
+	done     chan struct{}
+}
+
+// NewBatcher starts a batcher over c: the first arrival opens a batch,
+// which is flushed after window (default 2ms) or at maxBatch queries
+// (default 64, capped by the server's per-request limit), whichever comes
+// first.
+func NewBatcher(c *Client, window time.Duration, maxBatch int) *Batcher {
+	if window <= 0 {
+		window = 2 * time.Millisecond
+	}
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	b := &Batcher{
+		c:        c,
+		window:   window,
+		maxBatch: maxBatch,
+		in:       make(chan *pending),
+		closed:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Predict queues one query into the current batch and waits for its slot of
+// the batched response. The context bounds only this caller's wait; the
+// flushed wire request itself runs on the batcher's own context so one
+// impatient caller cannot void its batch-mates.
+func (b *Batcher) Predict(ctx context.Context, sql string) (*api.QueryResult, error) {
+	p := &pending{sql: sql, done: make(chan struct{})}
+	select {
+	case b.in <- p:
+	case <-b.closed:
+		return nil, ErrBatcherClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case <-p.done:
+		return p.res, p.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close flushes the open batch and stops the background loop.
+func (b *Batcher) Close() {
+	select {
+	case <-b.closed:
+		return
+	default:
+	}
+	close(b.closed)
+	<-b.done
+}
+
+func (b *Batcher) loop() {
+	defer close(b.done)
+	for {
+		var first *pending
+		select {
+		case first = <-b.in:
+		case <-b.closed:
+			return
+		}
+		batch := []*pending{first}
+		timer := time.NewTimer(b.window)
+	gather:
+		for len(batch) < b.maxBatch {
+			select {
+			case p := <-b.in:
+				batch = append(batch, p)
+			case <-timer.C:
+				break gather
+			case <-b.closed:
+				break gather
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}
+
+// flush sends one batched request and fans the aligned results back out.
+func (b *Batcher) flush(batch []*pending) {
+	sqls := make([]string, len(batch))
+	for i, p := range batch {
+		sqls[i] = p.sql
+	}
+	resp, err := b.c.Predict(context.Background(), sqls...)
+	for i, p := range batch {
+		switch {
+		case err != nil:
+			p.err = err
+		case i >= len(resp.Results):
+			p.err = errors.New("qpredictclient: short batch response")
+		case resp.Results[i].Error != nil:
+			e := resp.Results[i].Error
+			p.err = &APIError{Code: e.Code, Message: e.Message, Status: 200}
+		default:
+			p.res = &resp.Results[i]
+		}
+		close(p.done)
+	}
+}

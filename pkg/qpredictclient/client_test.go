@@ -1,0 +1,250 @@
+package qpredictclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// fastOpts returns options with near-zero backoff so retry tests run in
+// milliseconds.
+func fastOpts() *Options {
+	return &Options{
+		MaxRetries: 3,
+		Jitter:     func(time.Duration) time.Duration { return time.Millisecond },
+	}
+}
+
+// predictEcho answers any predict request with one OK result per query.
+func predictEcho(w http.ResponseWriter, r *http.Request) {
+	var req api.PredictRequest
+	json.NewDecoder(r.Body).Decode(&req)
+	resp := api.PredictResponse{Version: api.Version}
+	for _, in := range req.Inputs() {
+		m := api.Metrics{ElapsedSec: float64(len(in.SQL))}
+		resp.Results = append(resp.Results, api.QueryResult{SQL: in.SQL, Metrics: &m, Category: "feather"})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func errorBody(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.ErrorResponse{Version: api.Version, Error: api.Error{Code: code, Message: code}})
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			errorBody(w, http.StatusTooManyRequests, api.CodeOverloaded)
+			return
+		}
+		predictEcho(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	res, err := c.PredictOne(context.Background(), "SELECT 1")
+	if err != nil {
+		t.Fatalf("predict after retries: %v", err)
+	}
+	if res.SQL != "SELECT 1" || res.Metrics == nil {
+		t.Fatalf("bad result %+v", res)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two 429s + success)", got)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Errorf("client retries %d, want 2", got)
+	}
+}
+
+func TestRetryOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			errorBody(w, http.StatusInternalServerError, api.CodeInternal)
+			return
+		}
+		predictEcho(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	if _, err := c.Predict(context.Background(), "SELECT 1"); err != nil {
+		t.Fatalf("predict after 500 retry: %v", err)
+	}
+	if c.Retries() != 1 {
+		t.Errorf("retries %d, want 1", c.Retries())
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		errorBody(w, http.StatusBadRequest, api.CodeParse)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	_, err := c.Predict(context.Background(), "SELEC")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeParse || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError{parse_error, 400}", err)
+	}
+	if calls.Load() != 1 || c.Retries() != 0 {
+		t.Errorf("calls %d retries %d; caller mistakes must not retry", calls.Load(), c.Retries())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		errorBody(w, http.StatusTooManyRequests, api.CodeOverloaded)
+	}))
+	defer ts.Close()
+	opts := fastOpts()
+	opts.MaxRetries = 2
+	c := New(ts.URL, opts)
+	_, err := c.Predict(context.Background(), "SELECT 1")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeOverloaded {
+		t.Fatalf("err = %v, want the final overloaded APIError", err)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("retries %d, want MaxRetries=2", c.Retries())
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	h := http.Header{}
+	if d := retryAfter(h); d != 0 {
+		t.Errorf("absent header: %v, want 0", d)
+	}
+	h.Set("Retry-After", "2")
+	if d := retryAfter(h); d != 2*time.Second {
+		t.Errorf("delta-seconds: %v, want 2s", d)
+	}
+	h.Set("Retry-After", time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat))
+	if d := retryAfter(h); d <= 0 || d > 3*time.Second {
+		t.Errorf("http-date: %v, want ~3s", d)
+	}
+	h.Set("Retry-After", "garbage")
+	if d := retryAfter(h); d != 0 {
+		t.Errorf("garbage: %v, want 0", d)
+	}
+}
+
+func TestBackoffHonorsHintAndCap(t *testing.T) {
+	c := New("http://x", &Options{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  80 * time.Millisecond,
+		Jitter:      func(d time.Duration) time.Duration { return d },
+	})
+	if d := c.backoff(0, 0); d != 10*time.Millisecond {
+		t.Errorf("attempt 0: %v, want base", d)
+	}
+	if d := c.backoff(2, 0); d != 40*time.Millisecond {
+		t.Errorf("attempt 2: %v, want 4×base", d)
+	}
+	if d := c.backoff(10, 0); d != 80*time.Millisecond {
+		t.Errorf("attempt 10: %v, want the cap", d)
+	}
+	if d := c.backoff(0, time.Second); d != time.Second {
+		t.Errorf("with server hint: %v, want the hint to win", d)
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		errorBody(w, http.StatusTooManyRequests, api.CodeOverloaded)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, &Options{
+		MaxRetries: 3,
+		Jitter:     func(time.Duration) time.Duration { return 30 * time.Second },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Predict(ctx, "SELECT 1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep must abort on ctx", elapsed)
+	}
+}
+
+func TestPredictOnePerQueryError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp := api.PredictResponse{Version: api.Version, Results: []api.QueryResult{
+			{SQL: "SELEC", Error: &api.Error{Code: api.CodeParse, Message: "no"}},
+		}}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	_, err := c.PredictOne(context.Background(), "SELEC")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeParse {
+		t.Fatalf("err = %v, want per-query parse APIError", err)
+	}
+}
+
+func TestBatcherCoalescesAndAligns(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		predictEcho(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	b := NewBatcher(c, 20*time.Millisecond, 64)
+	defer b.Close()
+
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([]*api.QueryResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sql := "SELECT " + string(rune('a'+i))
+			res, err := b.Predict(context.Background(), sql)
+			errs[i], got[i] = err, res
+			if err == nil && res.SQL != sql {
+				errs[i] = errors.New("got someone else's result: " + res.SQL)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		if got[i] == nil || got[i].Metrics == nil {
+			t.Fatalf("caller %d: incomplete result", i)
+		}
+	}
+	if r := requests.Load(); r >= n {
+		t.Errorf("%d wire requests for %d callers; batcher did not coalesce", r, n)
+	}
+	if _, err := b.Predict(context.Background(), "x"); err != nil {
+		t.Fatalf("batcher broken after burst: %v", err)
+	}
+	b.Close()
+	if _, err := b.Predict(context.Background(), "x"); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("predict after close: %v, want ErrBatcherClosed", err)
+	}
+}
