@@ -146,6 +146,35 @@ type ModelInfo struct {
 	// Partitioner names the routing policy ("hash", "category"), present
 	// only on a multi-shard daemon.
 	Partitioner string `json:"partitioner,omitempty"`
+	// Index describes the neighbor-search index of the served generation.
+	Index *IndexInfo `json:"index,omitempty"`
+}
+
+// IndexInfo describes the k-nearest-neighbor index serving predictions for
+// the current model generation. The index is exact — predictions are
+// bit-identical to a flat scan — so this is purely a performance surface.
+// It is rebuilt with every generation and immutable in between; only
+// static per-generation shape is reported here (live counters are on
+// /metrics under knn.index.*). On a multi-shard daemon the counts are
+// totals across shards.
+type IndexInfo struct {
+	// Kind is "kdtree" when a tree serves searches, "flat" when the
+	// generation fell back to the linear scan (for example a window smaller
+	// than MinPoints).
+	Kind string `json:"kind"`
+	// Metric is the distance metric the index is built for ("euclidean" or
+	// "cosine").
+	Metric string `json:"metric"`
+	// Points is the number of indexed training points; Nodes is the KD-tree
+	// node count (0 for flat).
+	Points int `json:"points"`
+	Nodes  int `json:"nodes"`
+	// Stragglers counts points held outside the tree and scanned linearly
+	// (degenerate coordinates); normally 0.
+	Stragglers int `json:"stragglers,omitempty"`
+	// MinPoints is the window size below which the generation uses the flat
+	// scan.
+	MinPoints int `json:"min_points"`
 }
 
 // ObserveRequest is the body of POST /v1/observe: executed queries with

@@ -117,6 +117,13 @@ type Predictor struct {
 	// model generation; it dies with the Predictor, so a hot-swap to a new
 	// generation implicitly invalidates every cached projection.
 	cache *projCache
+
+	// index is the exact KD-tree over this generation's projected training
+	// points (knn.Index): built once alongside the model, immutable, and
+	// retired with the Predictor on hot swap exactly like the projection
+	// cache. It degrades to the flat scan for small windows, so predictions
+	// are bit-identical either way.
+	index *knn.Index
 }
 
 // Train/predict metrics: latency distributions for the public entry points
@@ -188,6 +195,7 @@ func newPredictor(model *kcca.Model, rawRows [][]float64, cats []workload.Catego
 		perfRaw: features.Matrices(rawRows),
 		cats:    cats,
 		cache:   newProjCache(0),
+		index:   knn.NewIndex(model.QueryProj, opt.KNN.Distance),
 	}
 	p.confScale, p.kernelScale = p.referenceScales()
 	return p
@@ -351,7 +359,10 @@ func (p *Predictor) predictVector(f []float64) (*Prediction, error) {
 		proj, maxK = p.model.ProjectQueryKernel(f)
 		p.cache.put(f, proj, maxK)
 	}
-	nbs, err := knn.Nearest(p.model.QueryProj, proj, p.opt.KNN.K, p.opt.KNN.Distance)
+	// Neighbor search goes through this generation's KD-tree index — exact,
+	// so bit-identical to knn.Nearest on the projection matrix, but
+	// (near-)independent of the window size N instead of the flat O(N·rank).
+	nbs, err := p.index.Nearest(proj, p.opt.KNN.K)
 	if err != nil {
 		return nil, err
 	}
@@ -451,6 +462,12 @@ func (p *Predictor) WithKNN(opt knn.Options) *Predictor {
 	if opt.K <= 0 {
 		clone.opt.KNN = knn.DefaultOptions()
 	}
+	// The index depends only on the point set and the metric: a changed
+	// metric needs a rebuild (cheap — O(N log N) on the ≤15-dim projection),
+	// while k and weighting changes reuse the shared tree.
+	if clone.opt.KNN.Distance != p.opt.KNN.Distance {
+		clone.index = knn.NewIndex(p.model.QueryProj, clone.opt.KNN.Distance)
+	}
 	return &clone
 }
 
@@ -462,3 +479,8 @@ func (p *Predictor) Options() Options { return p.opt }
 
 // Model exposes the underlying KCCA model (for inspection and plots).
 func (p *Predictor) Model() *kcca.Model { return p.model }
+
+// Index exposes this generation's k-nearest-neighbor index (for serving
+// metadata and tests). It is immutable and scoped to this Predictor: a hot
+// swap to a new generation retires it together with the projection cache.
+func (p *Predictor) Index() *knn.Index { return p.index }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/kcca"
+	"repro/internal/knn"
 	"repro/internal/linalg"
 	"repro/internal/workload"
 )
@@ -114,6 +115,7 @@ func fromWire(wire *predictorWire) (*Predictor, error) {
 		confScale:   wire.ConfScale,
 		kernelScale: wire.KernelScale,
 		cache:       newProjCache(0),
+		index:       knn.NewIndex(model.QueryProj, wire.Opt.KNN.Distance),
 	}
 	if wire.Subs != nil {
 		p.sub = map[workload.Category]*Predictor{}

@@ -1,0 +1,96 @@
+package knn
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// FuzzKDTree feeds arbitrary float bit patterns through index build and
+// search. The invariants under fuzz:
+//
+//  1. build/search never panic, whatever the coordinates (NaN, ±Inf,
+//     subnormals, huge magnitudes);
+//  2. every returned neighbor's distance verifies against a direct
+//     recomputation with the same metric (bit-identical);
+//  3. the returned set is sorted under the total (distance, index) order;
+//  4. the full result is bit-identical to the flat-scan oracle.
+//
+// The seed corpus under testdata/fuzz/FuzzKDTree pins clouds with NaN
+// rows, infinities, duplicate points, zero vectors (cosine stragglers),
+// and magnitudes beyond the tree's overflow gate.
+func FuzzKDTree(f *testing.F) {
+	add := func(vals []float64, k, dim uint8, cosine bool) {
+		buf := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		f.Add(buf, k, dim, cosine)
+	}
+	add([]float64{0.5, -1, 1, 2, 3, -4, 0.25, 8, 1e-3}, 3, 2, false)
+	add([]float64{1, 1, math.NaN(), 2, 1, 1, math.Inf(1), 0, 1e200, -1e200, 0, 0}, 2, 2, true)
+	add([]float64{0, 0, 0, 0, 1e-300, -1e-300, 5e151, 2, 1, 1, 1, 1}, 4, 2, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, dimRaw uint8, cosine bool) {
+		dim := 1 + int(dimRaw)%8
+		nFloats := len(data) / 8
+		if nFloats < 2*dim {
+			return // need at least a query and one point
+		}
+		vals := make([]float64, nFloats)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		q := vals[:dim]
+		n := (nFloats - dim) / dim
+		points := linalg.NewMatrixFrom(n, dim, vals[dim:dim+n*dim])
+		k := 1 + int(kRaw)%(n+2) // sometimes exceeds n: must clamp, not panic
+
+		metric := Euclidean
+		if cosine {
+			metric = Cosine
+		}
+		// Tiny thresholds force a real tree on even the smallest inputs.
+		ix := NewIndexWith(points, metric, IndexConfig{MinPoints: 1, LeafSize: 2})
+		got, err := ix.Nearest(q, k)
+		if err != nil {
+			t.Fatalf("index search failed on valid input: %v", err)
+		}
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("got %d neighbors, want %d", len(got), wantLen)
+		}
+		var qn float64
+		if metric == Cosine {
+			qn = linalg.Norm(q)
+		}
+		for i, nb := range got {
+			if nb.Index < 0 || nb.Index >= n {
+				t.Fatalf("neighbor %d has out-of-range index %d", i, nb.Index)
+			}
+			direct := pointDistance(points.Row(nb.Index), q, qn, metric)
+			if math.Float64bits(direct) != math.Float64bits(nb.Distance) {
+				t.Fatalf("neighbor %d reports distance %v, direct recomputation %v", i, nb.Distance, direct)
+			}
+			if i > 0 && less(nb, got[i-1]) {
+				t.Fatalf("neighbors %d and %d violate the (distance, index) total order", i-1, i)
+			}
+		}
+		want, err := Nearest(points, q, k, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Index != want[i].Index ||
+				math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+				t.Fatalf("neighbor %d = {%d %v}, flat oracle {%d %v}",
+					i, got[i].Index, got[i].Distance, want[i].Index, want[i].Distance)
+			}
+		}
+	})
+}

@@ -152,18 +152,21 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 	scratch := getNeighbors(n)
 	defer putNeighbors(scratch)
 	all := *scratch
+	// The query norm is hoisted once per query: under Cosine the flat scan
+	// used to recompute Norm(q) for every candidate row, an O(N·d) tax on
+	// top of the O(N·d) distances themselves. CosineDistanceTo runs the
+	// identical operations on the precomputed value, so results are
+	// bit-identical.
+	var qn float64
+	if metric == Cosine {
+		qn = linalg.Norm(q)
+	}
 	// Distance computation fans out across the worker pool; each index is
 	// written by exactly one worker, so the slice contents match the serial
 	// loop exactly and the sort below sees identical input.
 	parallel.For(n, parallel.GrainFor(points.Cols, 1<<14), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			var d float64
-			if metric == Cosine {
-				d = linalg.CosineDistance(points.Row(i), q)
-			} else {
-				d = linalg.Dist(points.Row(i), q)
-			}
-			all[i] = Neighbor{Index: i, Distance: d}
+			all[i] = Neighbor{Index: i, Distance: pointDistance(points.Row(i), q, qn, metric)}
 		}
 	})
 	sort.Sort(scratch)
@@ -172,15 +175,16 @@ func Nearest(points *linalg.Matrix, q []float64, k int, metric Distance) ([]Neig
 
 // less is the total order on neighbors: ascending distance, then ascending
 // index. NaN distances sort last so poisoned rows never shadow real
-// neighbors.
+// neighbors; among themselves NaN entries also break ties by index, so the
+// order is total even on all-NaN tails (sort.Sort is unstable — without the
+// index tie-break, two NaN rows could come back in either order, and the
+// tree and flat paths could then legally disagree).
 func less(a, b Neighbor) bool {
-	if a.Distance != b.Distance {
-		if math.IsNaN(a.Distance) {
-			return false
-		}
-		if math.IsNaN(b.Distance) {
-			return true
-		}
+	an, bn := math.IsNaN(a.Distance), math.IsNaN(b.Distance)
+	if an != bn {
+		return bn // the non-NaN side sorts first
+	}
+	if !an && a.Distance != b.Distance {
 		return a.Distance < b.Distance
 	}
 	return a.Index < b.Index
@@ -210,25 +214,17 @@ func Search(points, queries *linalg.Matrix, k int, metric Distance) ([][]Neighbo
 	searchQueries.Add(int64(queries.Rows))
 	out := make([][]Neighbor, queries.Rows)
 	parallel.For(queries.Rows, 1, func(lo, hi int) {
-		// One pooled ranking buffer per worker chunk, reused across its
-		// queries; only each query's k winners are copied out.
-		scratch := getNeighbors(n)
-		defer putNeighbors(scratch)
-		all := *scratch
 		for qi := lo; qi < hi; qi++ {
 			searchCandidates.Observe(float64(n))
 			q := queries.Row(qi)
-			for i := 0; i < n; i++ {
-				var d float64
-				if metric == Cosine {
-					d = linalg.CosineDistance(points.Row(i), q)
-				} else {
-					d = linalg.Dist(points.Row(i), q)
-				}
-				all[i] = Neighbor{Index: i, Distance: d}
+			// The query norm is hoisted once per query (see Nearest); the
+			// shared scan kernel uses pooled ranking buffers and copies only
+			// the k winners out.
+			var qn float64
+			if metric == Cosine {
+				qn = linalg.Norm(q)
 			}
-			sort.Sort(scratch)
-			out[qi] = append(make([]Neighbor, 0, k), all[:k]...)
+			out[qi] = scanNearest(points, q, qn, k, metric)
 		}
 	})
 	return out, nil

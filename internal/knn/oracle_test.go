@@ -1,0 +1,389 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/parallel"
+	"repro/internal/statutil"
+)
+
+// The oracle suite proves the KD-tree index EXACT: for every supported
+// metric, point-cloud shape, k, and worker count, Index.Nearest/Search must
+// return bit-identical (distance, index) neighbor sets to the flat scan —
+// same values, same total order, NaN-last. It runs under -race in CI at
+// worker counts {1, 2, 7, NumCPU}.
+
+// cloud generates a point cloud of a given pathology. Every generator is
+// deterministic in (seed, n, dim).
+type cloud struct {
+	name string
+	gen  func(seed int64, n, dim int) *linalg.Matrix
+}
+
+func clouds() []cloud {
+	return []cloud{
+		{"uniform", func(seed int64, n, dim int) *linalg.Matrix {
+			rng := statutil.NewRNG(seed, "oracle-uniform")
+			m := linalg.NewMatrix(n, dim)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64()
+			}
+			return m
+		}},
+		{"duplicates", func(seed int64, n, dim int) *linalg.Matrix {
+			// Only a handful of distinct rows: the template-workload shape,
+			// where the (distance, index) tie-break carries the ordering.
+			rng := statutil.NewRNG(seed, "oracle-dup")
+			distinct := 3
+			base := linalg.NewMatrix(distinct, dim)
+			for i := range base.Data {
+				base.Data[i] = rng.NormFloat64()
+			}
+			m := linalg.NewMatrix(n, dim)
+			for i := 0; i < n; i++ {
+				copy(m.Row(i), base.Row(rng.Intn(distinct)))
+			}
+			return m
+		}},
+		{"colinear", func(seed int64, n, dim int) *linalg.Matrix {
+			// Degenerate cluster: every point on one line through the origin,
+			// so most splitting axes have zero spread.
+			rng := statutil.NewRNG(seed, "oracle-colinear")
+			dir := make([]float64, dim)
+			for j := range dir {
+				dir[j] = rng.NormFloat64()
+			}
+			m := linalg.NewMatrix(n, dim)
+			for i := 0; i < n; i++ {
+				t := rng.NormFloat64()
+				for j := 0; j < dim; j++ {
+					m.Row(i)[j] = t * dir[j]
+				}
+			}
+			return m
+		}},
+		{"clustered", func(seed int64, n, dim int) *linalg.Matrix {
+			rng := statutil.NewRNG(seed, "oracle-cluster")
+			centers := linalg.NewMatrix(4, dim)
+			for i := range centers.Data {
+				centers.Data[i] = 10 * rng.NormFloat64()
+			}
+			m := linalg.NewMatrix(n, dim)
+			for i := 0; i < n; i++ {
+				c := centers.Row(rng.Intn(4))
+				for j := 0; j < dim; j++ {
+					m.Row(i)[j] = c[j] + 0.1*rng.NormFloat64()
+				}
+			}
+			return m
+		}},
+		{"poisoned", func(seed int64, n, dim int) *linalg.Matrix {
+			// Degenerate rows among ordinary ones: NaN coordinates, ±Inf,
+			// huge magnitudes past the tree's overflow gate, exact zeros
+			// (zero-norm under Cosine). These become stragglers the index
+			// must still rank exactly like the flat scan (NaN-last).
+			rng := statutil.NewRNG(seed, "oracle-poison")
+			m := linalg.NewMatrix(n, dim)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64()
+			}
+			for i := 0; i < n; i++ {
+				switch i % 7 {
+				case 1:
+					m.Row(i)[rng.Intn(dim)] = math.NaN()
+				case 3:
+					m.Row(i)[rng.Intn(dim)] = math.Inf(1 - 2*(i%2))
+				case 4:
+					m.Row(i)[rng.Intn(dim)] = 1e200
+				case 5:
+					for j := 0; j < dim; j++ {
+						m.Row(i)[j] = 0
+					}
+				}
+			}
+			return m
+		}},
+	}
+}
+
+// oracleQueries builds query rows exercising every search path: ordinary,
+// coincident with training points, far away, zero, and non-finite (the
+// per-query flat fallback).
+func oracleQueries(seed int64, points *linalg.Matrix) *linalg.Matrix {
+	rng := statutil.NewRNG(seed, "oracle-query")
+	dim := points.Cols
+	qs := linalg.NewMatrix(8, dim)
+	for j := 0; j < dim; j++ {
+		qs.Row(0)[j] = rng.NormFloat64()             // ordinary
+		qs.Row(2)[j] = 100 + 10*rng.NormFloat64()    // far outside the cloud
+		qs.Row(3)[j] = 0                             // zero (cosine fallback)
+		qs.Row(4)[j] = rng.NormFloat64()             // NaN-poisoned below
+		qs.Row(5)[j] = 1e-30 * rng.NormFloat64()     // tiny magnitudes
+		qs.Row(6)[j] = rng.NormFloat64() * 1e160     // past the overflow gate
+		qs.Row(7)[j] = math.Abs(rng.NormFloat64())   // positive orthant
+	}
+	copy(qs.Row(1), points.Row(points.Rows/2)) // exact duplicate of a point
+	qs.Row(4)[dim-1] = math.NaN()
+	return qs
+}
+
+// mustEqualNeighbors asserts bit-identical neighbor sets: same length, and
+// per position the same index and the same distance bits (NaN == NaN).
+func mustEqualNeighbors(t *testing.T, ctx string, got, want []Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, oracle has %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Index != want[i].Index ||
+			math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+			t.Fatalf("%s: neighbor %d = {%d %v}, oracle {%d %v}",
+				ctx, i, got[i].Index, got[i].Distance, want[i].Index, want[i].Distance)
+		}
+	}
+}
+
+// TestIndexOracle is the headline exactness proof: randomized point clouds
+// across sizes, dimensions, pathologies, and both metrics; tree results
+// must be bit-identical to the flat scan for k ∈ {1, 3, 7, N}, at every
+// worker count.
+func TestIndexOracle(t *testing.T) {
+	dims := []int{1, 2, 3, 8, 15}
+	sizes := []int{1, 5, 63, 64, 257, 600}
+	workers := []int{1, 2, 7, runtime.NumCPU()}
+	defer parallel.SetMaxProcs(parallel.SetMaxProcs(1))
+
+	seed := int64(100)
+	for _, cl := range clouds() {
+		for _, metric := range []Distance{Euclidean, Cosine} {
+			for _, n := range sizes {
+				for _, dim := range dims {
+					if n > 100 && dim > 8 {
+						continue // keep the grid affordable; big×wide is covered at 8
+					}
+					seed++
+					points := cl.gen(seed, n, dim)
+					queries := oracleQueries(seed, points)
+					// Tiny MinPoints/LeafSize force real trees even on small
+					// clouds; the default config path is covered separately.
+					ix := NewIndexWith(points, metric, IndexConfig{MinPoints: 1, LeafSize: 3})
+					for _, k := range []int{1, 3, 7, n} {
+						for qi := 0; qi < queries.Rows; qi++ {
+							q := queries.Row(qi)
+							want, err := Nearest(points, q, k, metric)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := ix.Nearest(q, k)
+							if err != nil {
+								t.Fatal(err)
+							}
+							ctx := fmt.Sprintf("cloud=%s metric=%v n=%d dim=%d k=%d query=%d", cl.name, metric, n, dim, k, qi)
+							mustEqualNeighbors(t, ctx, got, want)
+						}
+					}
+					// Batch path at every worker count, k = 3.
+					want, err := Search(points, queries, 3, metric)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, w := range workers {
+						parallel.SetMaxProcs(w)
+						got, err := ix.Search(queries, 3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for qi := range got {
+							ctx := fmt.Sprintf("cloud=%s metric=%v n=%d dim=%d workers=%d query=%d", cl.name, metric, n, dim, w, qi)
+							mustEqualNeighbors(t, ctx, got[qi], want[qi])
+						}
+					}
+					parallel.SetMaxProcs(1)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexOracleDefaultConfig exercises the production configuration
+// (MinPoints 64, leaf 16) at a size where the tree actually builds, plus
+// one below the threshold where every search must take the flat fallback.
+func TestIndexOracleDefaultConfig(t *testing.T) {
+	for _, metric := range []Distance{Euclidean, Cosine} {
+		for _, n := range []int{63, 64, 1000} {
+			points := clouds()[0].gen(int64(7000+n), n, 12)
+			ix := NewIndex(points, metric)
+			if wantFlat := n < DefaultIndexMinPoints; ix.Flat() != wantFlat {
+				t.Fatalf("n=%d: Flat()=%v, want %v", n, ix.Flat(), wantFlat)
+			}
+			queries := oracleQueries(int64(8000+n), points)
+			for qi := 0; qi < queries.Rows; qi++ {
+				q := queries.Row(qi)
+				want, err := Nearest(points, q, 3, metric)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ix.Nearest(q, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualNeighbors(t, fmt.Sprintf("metric=%v n=%d query=%d", metric, n, qi), got, want)
+			}
+		}
+	}
+}
+
+// TestIndexOracleWeightings closes the loop to predictions: identical
+// neighbor sets must combine into bit-identical prediction vectors under
+// every weighting scheme.
+func TestIndexOracleWeightings(t *testing.T) {
+	points := clouds()[1].gen(42, 200, 6) // duplicates: order-sensitive under RankWeight
+	values := clouds()[0].gen(43, 200, 4)
+	queries := oracleQueries(44, points)
+	for _, metric := range []Distance{Euclidean, Cosine} {
+		ix := NewIndexWith(points, metric, IndexConfig{MinPoints: 1, LeafSize: 4})
+		for qi := 0; qi < queries.Rows; qi++ {
+			q := queries.Row(qi)
+			want, err := Nearest(points, q, 5, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.Nearest(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []Weighting{EqualWeight, RankWeight, DistanceWeight} {
+				vw := Combine(values, want, w)
+				vg := Combine(values, got, w)
+				for j := range vw {
+					if math.Float64bits(vw[j]) != math.Float64bits(vg[j]) {
+						t.Fatalf("metric=%v weighting=%v query=%d: combined[%d] = %v, oracle %v", metric, w, qi, j, vg[j], vw[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexErrorParity: the index must reject bad inputs with the same
+// sentinel errors as the flat scan.
+func TestIndexErrorParity(t *testing.T) {
+	points := clouds()[0].gen(9, 80, 3)
+	ix := NewIndex(points, Euclidean)
+	if _, err := ix.Nearest([]float64{1, 2}, 3); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+	if _, err := ix.Nearest([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("k=0 not rejected")
+	}
+	empty := NewIndex(linalg.NewMatrix(0, 3), Euclidean)
+	if _, err := empty.Nearest([]float64{1, 2, 3}, 3); err == nil {
+		t.Fatal("empty point set not rejected")
+	}
+	if _, err := ix.Search(linalg.NewMatrix(2, 4), 3); err == nil {
+		t.Fatal("batch dimension mismatch not rejected")
+	}
+}
+
+// TestIndexStats sanity-checks the introspection surface the serving tier
+// and the lifecycle tests rely on.
+func TestIndexStats(t *testing.T) {
+	points := clouds()[0].gen(11, 300, 8)
+	ix := NewIndex(points, Euclidean)
+	st := ix.Stats()
+	if st.Flat || st.Nodes == 0 || st.TreePoints != 300 || st.Points != 300 || st.Stragglers != 0 {
+		t.Fatalf("unexpected tree stats: %+v", st)
+	}
+	q := oracleQueries(12, points).Row(0)
+	for i := 0; i < 5; i++ {
+		if _, err := ix.Nearest(q, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = ix.Stats()
+	if st.Searches != 5 || st.FlatSearches != 0 {
+		t.Fatalf("searches=%d flat=%d, want 5/0", st.Searches, st.FlatSearches)
+	}
+	if st.PointsScored <= 0 || st.PointsScored >= 5*300 {
+		t.Fatalf("PointsScored=%d: tree search should score fewer than all %d candidates", st.PointsScored, 5*300)
+	}
+	// A NaN query is answered exactly, via the per-query flat fallback.
+	nanq := make([]float64, 8)
+	nanq[3] = math.NaN()
+	if _, err := ix.Nearest(nanq, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st = ix.Stats(); st.FlatSearches != 1 {
+		t.Fatalf("FlatSearches=%d after NaN query, want 1", st.FlatSearches)
+	}
+	// Below the size threshold the whole index is flat.
+	small := NewIndex(clouds()[0].gen(13, 10, 4), Euclidean)
+	if st = small.Stats(); !st.Flat || st.FlatReason == "" || st.Nodes != 0 {
+		t.Fatalf("small index should be flat with a reason: %+v", st)
+	}
+}
+
+// TestNaNTieBreakTotalOrder pins the completed total order: multiple
+// NaN-distance rows sort last AND among themselves by ascending index, on
+// both the flat and tree paths.
+func TestNaNTieBreakTotalOrder(t *testing.T) {
+	rows := [][]float64{
+		{1, 1}, {math.NaN(), 0}, {2, 2}, {math.NaN(), 5}, {0.5, 0.5}, {math.NaN(), 1},
+	}
+	points := linalg.FromRows(rows)
+	q := []float64{0, 0}
+	wantIdx := []int{4, 0, 2, 1, 3, 5} // finite ascending, then NaNs by index
+	flat, err := Nearest(points, q, 6, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndexWith(points, Euclidean, IndexConfig{MinPoints: 1, LeafSize: 2})
+	tree, err := ix.Nearest(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wantIdx {
+		if flat[i].Index != want {
+			t.Fatalf("flat neighbor %d has index %d, want %d", i, flat[i].Index, want)
+		}
+		if tree[i].Index != want {
+			t.Fatalf("tree neighbor %d has index %d, want %d", i, tree[i].Index, want)
+		}
+	}
+}
+
+// TestCosineDistanceToMatchesCosineDistance is the regression guard for the
+// hoisted query norm: precomputing Norm(q) must not change a single bit.
+func TestCosineDistanceToMatchesCosineDistance(t *testing.T) {
+	rng := statutil.NewRNG(21, "cosine-hoist")
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(16)
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for j := range a {
+			a[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+			b[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+		switch trial % 5 {
+		case 1:
+			for j := range a {
+				a[j] = 0
+			}
+		case 2:
+			for j := range b {
+				b[j] = 0
+			}
+		case 3:
+			a[rng.Intn(dim)] = math.NaN()
+		}
+		want := linalg.CosineDistance(a, b)
+		got := linalg.CosineDistanceTo(a, b, linalg.Norm(b))
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("trial %d: CosineDistanceTo=%v, CosineDistance=%v", trial, got, want)
+		}
+	}
+}

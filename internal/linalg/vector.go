@@ -53,11 +53,19 @@ func Dist(a, b []float64) float64 {
 // CosineDistance returns 1 - cos(a, b). Zero vectors are treated as
 // maximally distant (distance 1) from everything, including each other.
 func CosineDistance(a, b []float64) float64 {
-	na, nb := Norm(a), Norm(b)
-	if na == 0 || nb == 0 {
+	return CosineDistanceTo(a, b, Norm(b))
+}
+
+// CosineDistanceTo is CosineDistance(a, b) with b's norm precomputed: scan
+// loops ranking many candidates a against one query b hoist Norm(b) out of
+// the loop. The arithmetic is operation-for-operation the same as passing
+// Norm(b) inline, so results are bit-identical to CosineDistance.
+func CosineDistanceTo(a, b []float64, bNorm float64) float64 {
+	na := Norm(a)
+	if na == 0 || bNorm == 0 {
 		return 1
 	}
-	c := Dot(a, b) / (na * nb)
+	c := Dot(a, b) / (na * bNorm)
 	if c > 1 {
 		c = 1
 	} else if c < -1 {

@@ -558,6 +558,19 @@ func (s *Server) modelInfo() *api.ModelInfo {
 				opt := m.Pred.Options()
 				info = &api.ModelInfo{Features: opt.Features.String(), TwoStep: opt.TwoStep}
 			}
+			// Index shape aggregates across shards (single-shard daemons
+			// report exactly the unsharded form, keeping the wire formats
+			// byte-identical).
+			if ii := indexInfo(m.Pred); info.Index == nil {
+				info.Index = ii
+			} else {
+				info.Index.Points += ii.Points
+				info.Index.Nodes += ii.Nodes
+				info.Index.Stragglers += ii.Stragglers
+				if ii.Kind == "kdtree" {
+					info.Index.Kind = "kdtree"
+				}
+			}
 			trained += m.Pred.N()
 			swaps += m.Gen - 1
 			if m.Gen > maxGen {
@@ -590,6 +603,26 @@ func (s *Server) modelInfo() *api.ModelInfo {
 		// Generation 1 is the boot model; every later generation was a swap.
 		Swaps:      m.gen - 1,
 		WindowSize: int(s.windowSize.Load()),
+		Index:      indexInfo(m.pred),
+	}
+}
+
+// indexInfo reports the static per-generation shape of a predictor's
+// neighbor index: deterministic for a given training window, so sharded
+// and unsharded daemons serving the same window report identical bytes.
+func indexInfo(p *core.Predictor) *api.IndexInfo {
+	st := p.Index().Stats()
+	kind := "kdtree"
+	if st.Flat {
+		kind = "flat"
+	}
+	return &api.IndexInfo{
+		Kind:       kind,
+		Metric:     p.Index().Metric().String(),
+		Points:     st.Points,
+		Nodes:      st.Nodes,
+		Stragglers: st.Stragglers,
+		MinPoints:  st.MinPoints,
 	}
 }
 
