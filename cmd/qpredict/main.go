@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
 	"repro/internal/statutil"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -112,15 +114,14 @@ func main() {
 	}
 
 	if *saveTo != "" {
-		f, err := os.Create(*saveTo)
-		if err != nil {
-			cli.Fatalf("creating %s: %v", *saveTo, err)
-		}
-		if err := predictor.Save(f); err != nil {
+		// Atomic save: a crash mid-write must never leave a truncated model
+		// where a valid one (or nothing) used to be.
+		var buf bytes.Buffer
+		if err := predictor.Save(&buf); err != nil {
 			cli.Fatalf("saving model: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			cli.Fatalf("closing %s: %v", *saveTo, err)
+		if err := wal.WriteFileAtomic(*saveTo, buf.Bytes(), 0o644); err != nil {
+			cli.Fatalf("writing %s: %v", *saveTo, err)
 		}
 		fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveTo)
 		if *sqlText == "" {

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -67,6 +69,10 @@ func main() {
 	timings := flag.Bool("timings", false, "print the per-stage timing table on exit")
 	shards := flag.Int("shards", 0, "run the sharded multi-model tier with N shards (0 = single model)")
 	partitioner := flag.String("partitioner", "hash", "shard routing policy: hash or category (with -shards)")
+	stateDir := flag.String("state-dir", "", "durable state directory (observation WAL + model snapshots, one subdirectory per shard); a restart recovers the serving state from it")
+	fsyncPolicy := flag.String("fsync", "batch", "WAL fsync policy with -state-dir: always, batch, or none")
+	fsyncEvery := flag.Int("fsync-every", wal.DefaultSyncEvery, "appends between fsyncs with -fsync batch")
+	snapshotEvery := flag.Int("snapshot-every", wal.DefaultSnapshotEvery, "applied observations between state snapshots with -state-dir")
 	flag.Parse()
 
 	if *timings {
@@ -82,8 +88,88 @@ func main() {
 	opt := core.DefaultOptions()
 	opt.TwoStep = *twoStep
 
+	// Partition layout first (it decides the per-partition window knobs
+	// durable state must be recovered under). Per-shard knobs divide the
+	// single-model budget so the fleet-wide totals match: with -shards 1
+	// this reduces exactly to the unsharded values, keeping the single-shard
+	// daemon byte-identical.
+	nPart := 1
+	partCap, partEvery := *capacity, *retrainEvery
+	var part shard.Partitioner
+	if *shards > 0 {
+		nPart = *shards
+		partCap = max(5, *capacity / *shards)
+		partEvery = max(1, *retrainEvery / *shards)
+		if partEvery > partCap {
+			partEvery = partCap
+		}
+		part, err = shard.NewPartitioner(*partitioner, *shards, opt.Features)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+	}
+
+	// Durable state: open (and repair) each partition's WAL, install the
+	// newest snapshot, and replay the tail before serving starts. A
+	// partition that recovers a model skips boot training entirely.
+	var stores []*wal.Store
+	var slidings []*core.SlidingPredictor
+	var bootGens []int64
+	allWarm := false
+	if *stateDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		partName := "none"
+		if part != nil {
+			partName = part.Name()
+		}
+		if err := wal.CheckManifest(*stateDir, wal.Manifest{
+			Shards:       nPart,
+			Partitioner:  partName,
+			Capacity:     *capacity,
+			RetrainEvery: *retrainEvery,
+		}); err != nil {
+			cli.Fatalf("%v", err)
+		}
+		plan := serve.PlannerFunc(schema, *dataSeed, machine)
+		allWarm = true
+		for i := 0; i < nPart; i++ {
+			st, err := wal.OpenStore(wal.StoreOptions{
+				Dir:           filepath.Join(*stateDir, fmt.Sprintf("shard-%d", i)),
+				Policy:        policy,
+				SyncEvery:     *fsyncEvery,
+				SnapshotEvery: *snapshotEvery,
+				Plan:          plan,
+			})
+			if err != nil {
+				cli.Fatalf("opening state for shard %d: %v", i, err)
+			}
+			sl, gen, err := st.Recover(partCap, partEvery, opt)
+			if err != nil {
+				cli.Fatalf("recovering state for shard %d: %v", i, err)
+			}
+			if info := st.Info(); info.Recovered {
+				fmt.Fprintf(os.Stderr, "shard %d: recovered snapshot seq %d, replayed %d records in %.3fs (generation %d)\n",
+					i, info.SnapshotSeq, info.Replayed, info.ReplaySeconds, gen)
+				if info.TornTail {
+					fmt.Fprintf(os.Stderr, "shard %d: torn WAL tail repaired, %d bytes truncated\n", i, info.TruncatedBytes)
+				}
+			}
+			stores = append(stores, st)
+			slidings = append(slidings, sl)
+			bootGens = append(bootGens, gen)
+			if gen == 0 {
+				allWarm = false
+			}
+		}
+	}
+
 	var predictor *core.Predictor
-	if *loadFrom != "" {
+	if allWarm {
+		fmt.Fprintf(os.Stderr, "recovered %d warm partition(s) from %s; skipping boot training\n", nPart, *stateDir)
+	} else if *loadFrom != "" {
 		f, err := os.Open(*loadFrom)
 		if err != nil {
 			cli.Fatalf("opening model: %v", err)
@@ -124,27 +210,31 @@ func main() {
 		Timeout:  *timeout,
 	}
 	if *shards > 0 {
-		// Per-shard knobs divide the single-model budget so the fleet-wide
-		// totals match: with -shards 1 this reduces exactly to the unsharded
-		// values, keeping the single-shard daemon byte-identical.
-		shCap := max(5, *capacity / *shards)
-		shEvery := max(1, *retrainEvery / *shards)
-		if shEvery > shCap {
-			shEvery = shCap
-		}
-		part, err := shard.NewPartitioner(*partitioner, *shards, opt.Features)
-		if err != nil {
-			cli.Fatalf("%v", err)
-		}
 		cfgs := make([]shard.ShardConfig, *shards)
 		for i := range cfgs {
-			sl, err := core.NewSliding(shCap, shEvery, opt)
-			if err != nil {
-				cli.Fatalf("sliding window: %v", err)
+			sl := (*core.SlidingPredictor)(nil)
+			if slidings != nil {
+				sl = slidings[i]
+			} else {
+				var err error
+				sl, err = core.NewSliding(partCap, partEvery, opt)
+				if err != nil {
+					cli.Fatalf("sliding window: %v", err)
+				}
 			}
-			// Every shard boots from the same trained model, then diverges
-			// as its own observations arrive.
-			cfgs[i] = shard.ShardConfig{Boot: predictor, Sliding: sl}
+			sc := shard.ShardConfig{Sliding: sl}
+			if stores != nil {
+				sc.Store = stores[i]
+				sc.BootGen = bootGens[i]
+			}
+			// A shard that did not recover a model boots from the shared
+			// trained model, then diverges as its own observations arrive;
+			// a recovered shard keeps serving its own model at the
+			// generation it held before the restart.
+			if sc.BootGen == 0 {
+				sc.Boot = predictor
+			}
+			cfgs[i] = sc
 		}
 		router, err := shard.NewRouter(cfgs, part, shard.Config{
 			Window:   *window,
@@ -156,14 +246,26 @@ func main() {
 		}
 		svcCfg.Router = router
 		fmt.Fprintf(os.Stderr, "sharded tier: %d shards, %s partitioner, per-shard window %d\n",
-			*shards, part.Name(), shCap)
+			*shards, part.Name(), partCap)
 	} else {
-		sliding, err := core.NewSliding(*capacity, *retrainEvery, opt)
-		if err != nil {
-			cli.Fatalf("sliding window: %v", err)
+		sliding := (*core.SlidingPredictor)(nil)
+		if slidings != nil {
+			sliding = slidings[0]
+		} else {
+			var err error
+			sliding, err = core.NewSliding(*capacity, *retrainEvery, opt)
+			if err != nil {
+				cli.Fatalf("sliding window: %v", err)
+			}
 		}
-		svcCfg.Predictor = predictor
 		svcCfg.Sliding = sliding
+		if stores != nil {
+			svcCfg.Store = stores[0]
+			svcCfg.BootGen = bootGens[0]
+		}
+		if svcCfg.BootGen == 0 {
+			svcCfg.Predictor = predictor
+		}
 	}
 	svc, err := serve.New(svcCfg)
 	if err != nil {
@@ -185,7 +287,11 @@ func main() {
 		cli.Fatalf("listening on %s: %v", *addr, err)
 	}
 	httpSrv := &http.Server{Handler: mux}
-	fmt.Printf("qpredictd serving on http://%s (model: %d queries)\n", ln.Addr(), predictor.N())
+	modelDesc := "model: recovered from state"
+	if predictor != nil {
+		modelDesc = fmt.Sprintf("model: %d queries", predictor.N())
+	}
+	fmt.Printf("qpredictd serving on http://%s (%s)\n", ln.Addr(), modelDesc)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

@@ -148,6 +148,32 @@ type ModelInfo struct {
 	Partitioner string `json:"partitioner,omitempty"`
 	// Index describes the neighbor-search index of the served generation.
 	Index *IndexInfo `json:"index,omitempty"`
+	// Recovery reports how the serving state was rebuilt at boot. Present
+	// only on a daemon running with -state-dir (absent fields keep the
+	// no-durability wire format byte-identical to older daemons). On a
+	// multi-shard daemon it aggregates across shards; GET /v1/shards has
+	// the per-shard breakdown.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// RecoveryInfo describes a warm start from durable state: whether prior
+// state was found, how much of the observation WAL was replayed behind the
+// installed snapshot, and whether the log's tail had to be repaired (the
+// crash signature).
+type RecoveryInfo struct {
+	// Recovered is true when a snapshot or WAL records were found and
+	// installed; false means the state directory was fresh (cold boot).
+	Recovered bool `json:"recovered"`
+	// SnapshotSeq is the WAL sequence the installed snapshot covered.
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// Replayed is how many WAL records were re-applied behind the snapshot.
+	Replayed int64 `json:"replayed,omitempty"`
+	// TornTail reports whether recovery truncated a torn or corrupt log
+	// tail, discarding TruncatedBytes.
+	TornTail       bool  `json:"torn_tail,omitempty"`
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// ReplaySeconds is how long recovery took.
+	ReplaySeconds float64 `json:"replay_seconds,omitempty"`
 }
 
 // IndexInfo describes the k-nearest-neighbor index serving predictions for
@@ -222,6 +248,9 @@ type ShardInfo struct {
 	Predictions int64 `json:"predictions"`
 	// Observations counts observations this shard has applied.
 	Observations int64 `json:"observations"`
+	// Recovery reports how this shard's state was rebuilt at boot, present
+	// only with -state-dir.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // ShardsResponse is the body of GET /v1/shards: the routing policy and the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 )
 
@@ -24,6 +25,18 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid.Bytes()[:16])
 	f.Add([]byte{})
 	f.Add([]byte("not a gob stream"))
+	// Framed-format seeds: a bare header, a CRC-corrupted frame, and the
+	// pre-v2 raw-gob layout (must be rejected, not mis-decoded).
+	f.Add(valid.Bytes()[:frameHeaderLen])
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	if w, err := p.toWire(); err == nil {
+		var legacy bytes.Buffer
+		if gob.NewEncoder(&legacy).Encode(w) == nil {
+			f.Add(legacy.Bytes())
+		}
+	}
 
 	inputDims := p.Model().X.Cols
 	f.Fuzz(func(t *testing.T, data []byte) {

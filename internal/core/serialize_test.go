@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -90,9 +92,16 @@ func TestLoadRejectsCorruptWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// encode produces a well-framed v2 model file around the (possibly
+	// corrupted) wire payload, so these cases exercise the semantic
+	// validation behind an intact frame.
 	encode := func(w *predictorWire) []byte {
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(w); err != nil {
+			t.Fatal(err)
+		}
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		if err := writeFrame(&buf, modelMagic, payload.Bytes()); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -135,5 +144,85 @@ func TestLoadRejectsCorruptWire(t *testing.T) {
 	// right reason, not because of the re-encoding).
 	if _, err := Load(bytes.NewReader(encode(base))); err != nil {
 		t.Fatalf("pristine re-encoded model rejected: %v", err)
+	}
+}
+
+// TestLoadRejectsCorruptFrame corrupts the v2 container itself — magic,
+// version, length, payload bytes, CRC — and checks every case fails with
+// ErrBadModelFile instead of a decode panic or a silently wrong model.
+func TestLoadRejectsCorruptFrame(t *testing.T) {
+	train, _ := trainTest(t)
+	p, err := Train(train[:40], DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved bytes.Buffer
+	if err := p.Save(&saved); err != nil {
+		t.Fatal(err)
+	}
+	valid := saved.Bytes()
+	clone := func() []byte { return append([]byte(nil), valid...) }
+
+	legacy := func() []byte {
+		// The pre-v2 format: a raw gob stream with no header at all.
+		w, err := p.toWire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:frameHeaderLen-1]},
+		{"pre-v2 raw gob", legacy},
+		{"bad magic", func() []byte { b := clone(); b[0] ^= 0xff; return b }()},
+		{"future version", func() []byte {
+			b := clone()
+			binary.LittleEndian.PutUint32(b[8:12], ModelFormatVersion+1)
+			return b
+		}()},
+		{"oversized length", func() []byte {
+			b := clone()
+			binary.LittleEndian.PutUint64(b[12:20], maxFramePayload+1)
+			return b
+		}()},
+		{"truncated payload", valid[:len(valid)-1]},
+		{"payload bit flip", func() []byte {
+			b := clone()
+			b[frameHeaderLen+len(b)/2] ^= 0x01
+			return b
+		}()},
+		{"crc bit flip", func() []byte {
+			b := clone()
+			b[frameHeaderLen-1] ^= 0x01
+			return b
+		}()},
+		{"wrong magic kind", func() []byte {
+			// A sliding-state frame is not a model file, even if intact.
+			b := clone()
+			copy(b[:8], stateMagic)
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		_, err := Load(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: corrupt frame loaded without error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadModelFile) {
+			t.Errorf("%s: error %v is not ErrBadModelFile", tc.name, err)
+		}
+	}
+	if _, err := Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("pristine model rejected: %v", err)
 	}
 }

@@ -80,9 +80,16 @@ func statusFor(code string) int {
 	}
 }
 
-// writeError emits the standard error body for its code's status. 429
-// responses carry a Retry-After hint so well-behaved clients (including
-// pkg/qpredictclient) back off instead of hammering a full queue.
+// writeError emits the standard error body for its code's status, with a
+// drain-aware Retry-After hint:
+//
+//   - overloaded (429): "1" — a shed queue drains in milliseconds, so
+//     well-behaved clients (including pkg/qpredictclient) back off briefly
+//     and retry the same daemon.
+//   - shutting_down (503): deliberately no Retry-After. The drain is
+//     terminal for this process; any hint — short or long — tells clients
+//     to aim retries at a dying server. Clients must treat the code as
+//     final and redirect traffic (pkg/qpredictclient stops retrying on it).
 func writeError(w http.ResponseWriter, code, message string) {
 	if code == api.CodeOverloaded {
 		w.Header().Set("Retry-After", "1")

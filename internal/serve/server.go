@@ -35,6 +35,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/shard"
 	"repro/internal/sqlparse"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -51,6 +52,7 @@ var (
 	predictRequests   = obs.GetCounter("serve.requests.predict")
 	observeRequests   = obs.GetCounter("serve.requests.observe")
 	predictSeconds    = obs.GetHistogram("serve.predict.seconds")
+	walSnapshotFails  = obs.GetCounter("wal.snapshot.errors")
 )
 
 // Config wires a Server.
@@ -92,6 +94,17 @@ type Config struct {
 	MaxQueries int
 	// MaxBody caps the request body size in bytes (default 4 MiB).
 	MaxBody int64
+
+	// Store, when set with Sliding, makes the daemon's serving state
+	// durable: the observe loop WAL-logs every observation before applying
+	// it and snapshots the sliding state periodically and at drain. The
+	// Server takes ownership and closes it on Close. Sharded daemons
+	// instead hang one store per shard off shard.ShardConfig.
+	Store *wal.Store
+	// BootGen, with Store, is the model generation recovered from durable
+	// state; when positive (and Predictor is nil) the recovered Sliding
+	// model is published at that generation instead of restarting at 1.
+	BootGen int64
 }
 
 // Server is the prediction service. Create with New, mount with Handler,
@@ -106,6 +119,9 @@ type Server struct {
 
 	slot    slot
 	sliding *core.SlidingPredictor
+	// store, when non-nil, is the daemon's durable state (see Config.Store);
+	// owned by the observe goroutine after New.
+	store *wal.Store
 
 	mu     sync.RWMutex // guards closed + sends on queue/observeCh
 	closed bool
@@ -129,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Router != nil {
 		if cfg.Predictor != nil || cfg.Sliding != nil {
 			return nil, fmt.Errorf("serve: config sets both a shard router and a single-model predictor")
+		}
+		if cfg.Store != nil {
+			return nil, fmt.Errorf("serve: sharded daemons carry stores per shard (shard.ShardConfig), not on serve.Config")
 		}
 	} else if cfg.Predictor == nil && cfg.Sliding == nil {
 		return nil, fmt.Errorf("serve: config needs a boot predictor, a sliding predictor, or a shard router")
@@ -157,11 +176,20 @@ func New(cfg Config) (*Server, error) {
 		return s, nil
 	}
 	s.sliding = cfg.Sliding
+	s.store = cfg.Store
+	if s.store != nil && s.sliding == nil {
+		return nil, fmt.Errorf("serve: a durable store needs a sliding predictor")
+	}
 	s.queue = make(chan *batchItem, cfg.QueueCap)
 	s.coalesceDone = make(chan struct{})
-	if cfg.Predictor != nil {
+	switch {
+	case cfg.Predictor != nil && cfg.BootGen > 0:
+		s.slot.restore(cfg.Predictor, cfg.BootGen)
+	case cfg.Predictor != nil:
 		s.slot.swap(cfg.Predictor)
-	} else if cfg.Sliding.Ready() {
+	case cfg.Sliding.Ready() && cfg.BootGen > 0:
+		s.slot.restore(cfg.Sliding.Current(), cfg.BootGen)
+	case cfg.Sliding.Ready():
 		s.slot.swap(cfg.Sliding.Current())
 	}
 	go s.coalesceLoop()
@@ -198,6 +226,13 @@ func (s *Server) Close() {
 	<-s.coalesceDone
 	if s.observeDone != nil {
 		<-s.observeDone
+	}
+	if s.store != nil {
+		// Final snapshot at drain: the next boot restores it directly
+		// instead of replaying the tail.
+		if err := s.store.Close(s.sliding, s.generation()); err != nil {
+			walSnapshotFails.Inc()
+		}
 	}
 }
 
@@ -245,6 +280,26 @@ func (s *Server) ready() bool {
 		return s.router.AnyReady()
 	}
 	return s.slot.get() != nil
+}
+
+// PlannerFunc returns the deterministic SQL → planned-query pipeline the
+// serving layer runs on every /v1/observe, packaged as a core.PlanFunc for
+// WAL replay and snapshot restore. Plans and feature vectors are pure
+// functions of (SQL, schema, data seed, planner config), so re-planning
+// persisted SQL through this reproduces the live observation exactly.
+func PlannerFunc(schema *catalog.Schema, dataSeed int64, machine exec.Machine) core.PlanFunc {
+	planCfg := optimizer.DefaultConfig(machine.Processors)
+	return func(sql string) (*dataset.Query, error) {
+		ast, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := optimizer.BuildPlan(ast, schema, dataSeed, planCfg)
+		if err != nil {
+			return nil, err
+		}
+		return &dataset.Query{SQL: sql, AST: ast, Plan: plan}, nil
+	}
 }
 
 // planQuery turns SQL text into a planned query, classifying failures as
@@ -533,6 +588,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.CodeNotTrained, "no model trained yet")
 		return
 	}
+	// Recovery status rides only on GET /v1/model (not on every predict
+	// response), and only when the daemon runs with durable state.
+	info.Recovery = s.recoveryInfo()
 	writeJSON(w, http.StatusOK, struct {
 		Version string         `json:"version"`
 		Model   *api.ModelInfo `json:"model"`
@@ -607,6 +665,53 @@ func (s *Server) modelInfo() *api.ModelInfo {
 	}
 }
 
+// apiRecovery converts a store's recovery record to its wire form.
+func apiRecovery(info wal.RecoveryInfo) *api.RecoveryInfo {
+	return &api.RecoveryInfo{
+		Recovered:      info.Recovered,
+		SnapshotSeq:    info.SnapshotSeq,
+		Replayed:       info.Replayed,
+		TornTail:       info.TornTail,
+		TruncatedBytes: info.TruncatedBytes,
+		ReplaySeconds:  info.ReplaySeconds,
+	}
+}
+
+// recoveryInfo reports what boot-time recovery did, or nil when the daemon
+// runs without durable state. On a sharded daemon it aggregates: Recovered
+// and TornTail are ORs, Replayed and TruncatedBytes are totals,
+// SnapshotSeq and ReplaySeconds are maxima (per-shard detail is on GET
+// /v1/shards).
+func (s *Server) recoveryInfo() *api.RecoveryInfo {
+	if s.router != nil {
+		var agg *api.RecoveryInfo
+		for i := 0; i < s.router.NumShards(); i++ {
+			ri := s.router.Shard(i).Recovery()
+			if ri == nil {
+				continue
+			}
+			if agg == nil {
+				agg = &api.RecoveryInfo{}
+			}
+			agg.Recovered = agg.Recovered || ri.Recovered
+			agg.TornTail = agg.TornTail || ri.TornTail
+			agg.Replayed += ri.Replayed
+			agg.TruncatedBytes += ri.TruncatedBytes
+			if ri.SnapshotSeq > agg.SnapshotSeq {
+				agg.SnapshotSeq = ri.SnapshotSeq
+			}
+			if ri.ReplaySeconds > agg.ReplaySeconds {
+				agg.ReplaySeconds = ri.ReplaySeconds
+			}
+		}
+		return agg
+	}
+	if s.store == nil {
+		return nil
+	}
+	return apiRecovery(s.store.Info())
+}
+
 // indexInfo reports the static per-generation shape of a predictor's
 // neighbor index: deterministic for a given training window, so sharded
 // and unsharded daemons serving the same window report identical bytes.
@@ -651,6 +756,9 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 			si.Generation = m.Gen
 			si.Swaps = m.Gen - 1
 			si.TrainedOn = m.Pred.N()
+		}
+		if ri := sh.Recovery(); ri != nil {
+			si.Recovery = apiRecovery(*ri)
 		}
 		resp.Shards = append(resp.Shards, si)
 	}

@@ -39,6 +39,14 @@ func (s *slot) swap(p *core.Predictor) int64 {
 	return gen
 }
 
+// restore publishes a model recovered from durable state at the generation
+// it held before the restart, so generations keep moving forward across
+// process lifetimes (the next swap publishes gen+1).
+func (s *slot) restore(p *core.Predictor, gen int64) {
+	s.gens.Store(gen)
+	s.cur.Store(&servedModel{pred: p, gen: gen})
+}
+
 // observeLoop is the single goroutine driving the SlidingPredictor.
 // Observations stream in from /v1/observe through a bounded channel; the
 // sliding window's periodic retrains happen here, off the request path,
@@ -53,6 +61,15 @@ func (s *slot) swap(p *core.Predictor) int64 {
 func (s *Server) observeLoop() {
 	defer close(s.observeDone)
 	for q := range s.observeCh {
+		// Write-ahead: log the observation before applying it, so a crash
+		// between the two replays it on restart. A failed append is counted
+		// (wal.append.errors) but does not fail the observation —
+		// availability over durability; the record is simply absent from a
+		// future replay.
+		var seq uint64
+		if s.store != nil {
+			seq, _ = s.store.Append(q.SQL, q.Metrics)
+		}
 		before := s.sliding.Retrains()
 		if err := s.sliding.Observe(q); err != nil {
 			// A failed retrain (for example a degenerate window) keeps the
@@ -64,8 +81,22 @@ func (s *Server) observeLoop() {
 			s.slot.swap(s.sliding.Current())
 			modelSwaps.Inc()
 		}
+		if s.store != nil {
+			s.store.Applied(seq)
+			if err := s.store.MaybeSnapshot(s.sliding, s.generation()); err != nil {
+				walSnapshotFails.Inc()
+			}
+		}
 		observeQueueDepth.Set(int64(len(s.observeCh)))
 	}
+}
+
+// generation returns the currently served model generation (0 while cold).
+func (s *Server) generation() int64 {
+	if m := s.slot.get(); m != nil {
+		return m.gen
+	}
+	return 0
 }
 
 // enqueueObservation hands one executed query to the observe loop without

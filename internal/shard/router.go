@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Router-level metrics: where traffic lands, how often the warm fallback
@@ -26,6 +27,16 @@ type ShardConfig struct {
 	// Sliding, when non-nil, enables observation feedback and background
 	// retrains; the shard's observe goroutine takes sole ownership of it.
 	Sliding *core.SlidingPredictor
+	// Store, when non-nil, makes the shard's state durable: every
+	// observation is WAL-logged before it is applied, and the sliding
+	// state is snapshotted periodically and at drain. The shard takes
+	// ownership and closes it on drain.
+	Store *wal.Store
+	// BootGen, with Store, is the model generation recovered from durable
+	// state; when positive (and Boot is nil) the shard publishes
+	// Sliding's recovered model at that generation instead of starting
+	// over at 1.
+	BootGen int64
 }
 
 // Router fans predict and observe traffic across shards according to a
@@ -58,7 +69,7 @@ func NewRouter(shards []ShardConfig, part Partitioner, cfg Config, warmFallback 
 		if sc.Boot == nil && sc.Sliding == nil {
 			return nil, fmt.Errorf("shard: shard %d needs a boot predictor or a sliding window", i)
 		}
-		r.shards = append(r.shards, newShard(i, sc.Boot, sc.Sliding, cfg))
+		r.shards = append(r.shards, newShard(i, sc, cfg))
 	}
 	return r, nil
 }

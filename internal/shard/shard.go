@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Tier-wide serving metrics, shared with internal/serve's registry names so
@@ -39,6 +40,7 @@ var (
 	modelSwaps    = obs.GetCounter("serve.model.swaps")
 	retrainErrors = obs.GetCounter("serve.retrain.errors")
 	rejectedLoad  = obs.GetCounter("serve.rejected.overload")
+	snapshotFails = obs.GetCounter("wal.snapshot.errors")
 )
 
 // Sentinel errors of the shard tier.
@@ -102,6 +104,11 @@ type Shard struct {
 
 	slot    Slot
 	sliding *core.SlidingPredictor
+	// store, when non-nil, is the shard's durable state: the observe loop
+	// WAL-logs each observation before applying it and snapshots the
+	// sliding state periodically and at drain. Owned by the observe
+	// goroutine after construction.
+	store *wal.Store
 
 	mu     sync.RWMutex // guards closed + sends on queue/observeCh
 	closed bool
@@ -131,13 +138,16 @@ type Shard struct {
 	batchHook func()
 }
 
-// newShard wires one shard. boot (optional) is published as generation 1;
-// sliding (optional) enables observation feedback and background retrains.
-func newShard(id int, boot *core.Predictor, sliding *core.SlidingPredictor, cfg Config) *Shard {
+// newShard wires one shard. sc.Boot (optional) is published as generation
+// 1; sc.Sliding (optional) enables observation feedback and background
+// retrains. With a store and a positive BootGen the recovered model is
+// published at the generation it held before the restart.
+func newShard(id int, sc ShardConfig, cfg Config) *Shard {
 	s := &Shard{
 		ID:           id,
 		cfg:          cfg,
-		sliding:      sliding,
+		sliding:      sc.Sliding,
+		store:        sc.Store,
 		queue:        make(chan *Item, cfg.QueueCap),
 		coalesceDone: make(chan struct{}),
 		mWindow:      obs.GetGauge(fmt.Sprintf("serve.shard.%d.window", id)),
@@ -145,16 +155,21 @@ func newShard(id int, boot *core.Predictor, sliding *core.SlidingPredictor, cfg 
 		mPredicts:    obs.GetCounter(fmt.Sprintf("serve.shard.%d.predictions", id)),
 		mObserved:    obs.GetCounter(fmt.Sprintf("serve.shard.%d.observed", id)),
 	}
-	if boot != nil {
-		s.slot.Swap(boot)
-	} else if sliding != nil && sliding.Ready() {
-		s.slot.Swap(sliding.Current())
+	switch {
+	case sc.Boot != nil && sc.BootGen > 0:
+		s.slot.Restore(sc.Boot, sc.BootGen)
+	case sc.Boot != nil:
+		s.slot.Swap(sc.Boot)
+	case sc.Sliding != nil && sc.Sliding.Ready() && sc.BootGen > 0:
+		s.slot.Restore(sc.Sliding.Current(), sc.BootGen)
+	case sc.Sliding != nil && sc.Sliding.Ready():
+		s.slot.Swap(sc.Sliding.Current())
 	}
 	go s.coalesceLoop()
-	if sliding != nil {
+	if s.sliding != nil {
 		s.observeCh = make(chan *dataset.Query, cfg.QueueCap)
 		s.observeDone = make(chan struct{})
-		s.windowSize.Store(int64(sliding.WindowSize()))
+		s.windowSize.Store(int64(s.sliding.WindowSize()))
 		s.mWindow.Set(s.windowSize.Load())
 		go s.observeLoop()
 	}
@@ -175,6 +190,16 @@ func (s *Shard) Predictions() int64 { return s.nPredicts.Load() }
 
 // Observed returns how many observations this shard has applied.
 func (s *Shard) Observed() int64 { return s.nObserved.Load() }
+
+// Recovery returns what this shard's durable-state recovery did, or nil
+// when the shard runs without a store. The info is immutable after boot.
+func (s *Shard) Recovery() *wal.RecoveryInfo {
+	if s.store == nil {
+		return nil
+	}
+	info := s.store.Info()
+	return &info
+}
 
 // Submit hands an item to the shard's coalescer without blocking: a full
 // queue sheds load with ErrOverloaded instead of stacking goroutines.
@@ -220,11 +245,47 @@ func (s *Shard) Observe(q *dataset.Query) error {
 // goroutine — the embedding/benchmark path, bypassing the observe queue.
 // SlidingPredictor is internally synchronized, so this is safe alongside
 // the background loop, but the two paths share the same swap bookkeeping.
+// Do not mix with a background observe loop on a durable shard: the store
+// is single-owner.
 func (s *Shard) observeSync(q *dataset.Query) error {
+	seq := s.logObservation(q)
 	before := s.sliding.Retrains()
 	err := s.sliding.Observe(q)
 	s.afterObserve(before, err)
+	s.persistApplied(seq)
 	return err
+}
+
+// logObservation WAL-logs one observation ahead of applying it. A failed
+// append is counted (wal.append.errors) but does not fail the observation
+// — availability over durability; the record is simply absent from a
+// future replay.
+func (s *Shard) logObservation(q *dataset.Query) uint64 {
+	if s.store == nil {
+		return 0
+	}
+	seq, _ := s.store.Append(q.SQL, q.Metrics)
+	return seq
+}
+
+// persistApplied completes the write-ahead cycle for one observation and
+// snapshots the sliding state when due.
+func (s *Shard) persistApplied(seq uint64) {
+	if s.store == nil {
+		return
+	}
+	s.store.Applied(seq)
+	if err := s.store.MaybeSnapshot(s.sliding, s.generation()); err != nil {
+		snapshotFails.Inc()
+	}
+}
+
+// generation returns the currently served model generation (0 while cold).
+func (s *Shard) generation() int64 {
+	if m := s.slot.Get(); m != nil {
+		return m.Gen
+	}
+	return 0
 }
 
 // afterObserve updates mirrors and publishes a completed retrain.
@@ -252,9 +313,11 @@ func (s *Shard) afterObserve(retrainsBefore int, err error) {
 func (s *Shard) observeLoop() {
 	defer close(s.observeDone)
 	for q := range s.observeCh {
+		seq := s.logObservation(q)
 		before := s.sliding.Retrains()
 		err := s.sliding.Observe(q)
 		s.afterObserve(before, err)
+		s.persistApplied(seq)
 	}
 }
 
@@ -370,5 +433,12 @@ func (s *Shard) close() {
 	<-s.coalesceDone
 	if s.observeDone != nil {
 		<-s.observeDone
+	}
+	if s.store != nil {
+		// Final snapshot at drain: the next boot restores it directly
+		// instead of replaying the tail.
+		if err := s.store.Close(s.sliding, s.generation()); err != nil {
+			snapshotFails.Inc()
+		}
 	}
 }

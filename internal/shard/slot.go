@@ -38,3 +38,11 @@ func (s *Slot) Swap(p *core.Predictor) int64 {
 	s.cur.Store(&Served{Pred: p, Gen: gen})
 	return gen
 }
+
+// Restore publishes a model recovered from durable state at the generation
+// it had before the restart, so generations keep moving forward across
+// process lifetimes (the next Swap publishes gen+1).
+func (s *Slot) Restore(p *core.Predictor, gen int64) {
+	s.gens.Store(gen)
+	s.cur.Store(&Served{Pred: p, Gen: gen})
+}

@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic is the one atomic persistence primitive every durable
+// write in the repository routes through (model files, state snapshots, the
+// state-dir manifest): the data lands in a temporary file in the SAME
+// directory as the destination, is fsynced, renamed over the destination,
+// and the directory entry is fsynced too. A crash at any point leaves
+// either the complete old file or the complete new file — never a torn one
+// — because rename(2) within one directory is atomic and the fsyncs order
+// the data before the name.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("wal: creating temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure below must not leave the temp file behind.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: %s %s: %w", step, tmpName, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("writing", err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail("chmodding", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("closing", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: renaming %s over %s: %w", tmpName, path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so renames, creations, and deletions inside it
+// are durable before the caller proceeds.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir %s for sync: %w", dir, err)
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: syncing dir %s: %w", dir, err)
+	}
+	return cerr
+}

@@ -1,0 +1,37 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	// Overwrite: the old content is replaced in one rename, and no
+	// temporary files are left behind.
+	if err := WriteFileAtomic(path, []byte("v2 longer content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("v2 longer content")) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.bin" {
+		t.Fatalf("stray files after atomic write: %v", entries)
+	}
+}

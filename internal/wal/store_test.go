@@ -1,0 +1,416 @@
+package wal_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/serve"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// Shared fixture: one generated pool (generation dominates test time). The
+// data seed is fixed so the store's replay planner and the tests' local
+// planner produce identical plans for the same SQL.
+const storeDataSeed = 77
+
+var (
+	storeOnce sync.Once
+	storePool *dataset.Dataset
+	storeErr  error
+)
+
+func storeFixture(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	storeOnce.Do(func() {
+		storePool, storeErr = dataset.Generate(dataset.GenConfig{
+			Seed: 5, DataSeed: storeDataSeed, Machine: exec.Research4(),
+			Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: 160,
+		})
+	})
+	if storeErr != nil {
+		t.Fatal(storeErr)
+	}
+	return storePool
+}
+
+func storePlan() core.PlanFunc {
+	return serve.PlannerFunc(catalog.TPCDS(1), storeDataSeed, exec.Research4())
+}
+
+// observations re-plans the first n pool queries exactly the way the
+// /v1/observe handler does, attaching the measured metrics — the stream
+// both the durable and the mirror predictor consume.
+func observations(t testing.TB, n int) []*dataset.Query {
+	t.Helper()
+	pool := storeFixture(t)
+	if n > len(pool.Queries) {
+		t.Fatalf("fixture holds %d queries, need %d", len(pool.Queries), n)
+	}
+	plan := storePlan()
+	qs := make([]*dataset.Query, n)
+	for i := 0; i < n; i++ {
+		src := pool.Queries[i]
+		q, err := plan(src.SQL)
+		if err != nil {
+			t.Fatalf("planning %q: %v", src.SQL, err)
+		}
+		q.Metrics = src.Metrics
+		q.Category = workload.Categorize(q.Metrics.ElapsedSec)
+		qs[i] = q
+	}
+	return qs
+}
+
+const (
+	testCapacity = 40
+	testRetrain  = 10
+)
+
+func openStore(t testing.TB, dir string, snapEvery int) *wal.Store {
+	t.Helper()
+	st, err := wal.OpenStore(wal.StoreOptions{
+		Dir: dir, Policy: wal.SyncNone, SnapshotEvery: snapEvery, Plan: storePlan(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newSliding(t testing.TB) *core.SlidingPredictor {
+	t.Helper()
+	s, err := core.NewSliding(testCapacity, testRetrain, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// feed applies one observation with the live observe loop's write-ahead
+// discipline: log, apply, mark applied, snapshot when due. gen mirrors the
+// serving slot's generation (one bump per completed retrain).
+func feed(t testing.TB, st *wal.Store, s *core.SlidingPredictor, q *dataset.Query, gen *int64) {
+	t.Helper()
+	seq, err := st.Append(q.SQL, q.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Retrains()
+	_ = s.Observe(q) // retrain errors keep the previous model, like the live loop
+	if s.Retrains() != before {
+		*gen++
+	}
+	st.Applied(seq)
+	if err := st.MaybeSnapshot(s, *gen); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkIdentical asserts two sliding predictors are observably the same
+// model: identical bookkeeping and bit-identical predictions on held-out
+// queries — the recovery acceptance criterion.
+func checkIdentical(t testing.TB, got, want *core.SlidingPredictor) {
+	t.Helper()
+	if got.Retrains() != want.Retrains() {
+		t.Fatalf("retrains %d, want %d", got.Retrains(), want.Retrains())
+	}
+	if got.WindowSize() != want.WindowSize() {
+		t.Fatalf("window %d, want %d", got.WindowSize(), want.WindowSize())
+	}
+	pg, pw := got.Current(), want.Current()
+	if (pg == nil) != (pw == nil) {
+		t.Fatalf("readiness diverged: recovered %v, mirror %v", pg != nil, pw != nil)
+	}
+	if pg == nil {
+		return
+	}
+	pool := storeFixture(t)
+	for _, q := range pool.Queries[150:160] {
+		a, errA := pg.PredictQuery(q)
+		b, errB := pw.PredictQuery(q)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("prediction errors diverged: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Metrics != b.Metrics || a.Confidence != b.Confidence || a.Category != b.Category {
+			t.Fatalf("prediction diverged after recovery:\nrecovered %+v\nmirror    %+v", a, b)
+		}
+	}
+}
+
+// TestRecoverBitIdenticalAfterCrash is the end-to-end recovery contract: a
+// process killed without any shutdown path (no final snapshot, no sync —
+// SyncNone survives process death, just not power loss) recovers from its
+// newest snapshot plus the WAL tail to the exact state of an uninterrupted
+// mirror — and, crucially, continues to evolve identically, because the
+// incremental retrainer's full state (maintained kernels, warm eigenbases)
+// is restored rather than rebuilt.
+func TestRecoverBitIdenticalAfterCrash(t *testing.T) {
+	qs := observations(t, 40)
+	dir := t.TempDir()
+
+	// Live process: 27 observations (snapshots at 8, 16, 24; retrains at
+	// 10, 20), then killed — the store is simply abandoned mid-flight.
+	st := openStore(t, dir, 8)
+	live := newSliding(t)
+	var liveGen int64
+	for _, q := range qs[:27] {
+		feed(t, st, live, q, &liveGen)
+	}
+
+	// Mirror: the same stream, never interrupted.
+	mirror := newSliding(t)
+	var mirrorGen int64
+	for _, q := range qs[:27] {
+		before := mirror.Retrains()
+		_ = mirror.Observe(q)
+		if mirror.Retrains() != before {
+			mirrorGen++
+		}
+	}
+
+	// Restart: recover from disk.
+	st2 := openStore(t, dir, 8)
+	recovered, gen, err := st2.Recover(testCapacity, testRetrain, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, recovered, mirror)
+	if gen != mirrorGen {
+		t.Fatalf("recovered generation %d, mirror %d", gen, mirrorGen)
+	}
+	info := st2.Info()
+	if !info.Recovered || info.SnapshotSeq != 24 || info.Replayed != 3 {
+		t.Fatalf("recovery info %+v, want snapshot 24 + 3 replayed", info)
+	}
+	if info.TornTail {
+		t.Fatal("clean crash reported a torn tail")
+	}
+
+	// The recovered process keeps evolving bit-identically across further
+	// retrain boundaries (observations 28..40 cross retrains at 30 and 40).
+	for _, q := range qs[27:] {
+		feed(t, st2, recovered, q, &gen)
+		before := mirror.Retrains()
+		_ = mirror.Observe(q)
+		if mirror.Retrains() != before {
+			mirrorGen++
+		}
+	}
+	checkIdentical(t, recovered, mirror)
+	if gen != mirrorGen {
+		t.Fatalf("post-recovery generation %d, mirror %d", gen, mirrorGen)
+	}
+}
+
+// TestRecoverMidObserve kills between the WAL append and the in-memory
+// apply — the write-ahead discipline's defining crash point. The logged
+// record must be replayed on restart: recovery equals a process that
+// observed it. The 10th observation is also a retrain trigger, so this
+// doubles as the mid-retrain kill point: the retrain that never completed
+// in the crashed process runs during replay instead.
+func TestRecoverMidObserve(t *testing.T) {
+	qs := observations(t, 10)
+	dir := t.TempDir()
+
+	st := openStore(t, dir, 100)
+	live := newSliding(t)
+	var liveGen int64
+	for _, q := range qs[:9] {
+		feed(t, st, live, q, &liveGen)
+	}
+	// Observation 10: logged, never applied — killed mid-observe, just
+	// before the retrain it would have triggered.
+	if _, err := st.Append(qs[9].SQL, qs[9].Metrics); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror := newSliding(t)
+	for _, q := range qs {
+		_ = mirror.Observe(q)
+	}
+
+	st2 := openStore(t, dir, 100)
+	recovered, gen, err := st2.Recover(testCapacity, testRetrain, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, recovered, mirror)
+	if info := st2.Info(); info.Replayed != 10 {
+		t.Fatalf("replayed %d, want all 10 (WAL is the source of truth)", info.Replayed)
+	}
+	if gen != 1 {
+		t.Fatalf("generation %d, want 1 (the replayed retrain)", gen)
+	}
+}
+
+// TestRecoverTornTail kills mid-append: the last WAL record is half
+// written. Recovery truncates the torn record and lands on the state of a
+// process that never received that observation.
+func TestRecoverTornTail(t *testing.T) {
+	qs := observations(t, 15)
+	dir := t.TempDir()
+
+	st := openStore(t, dir, 100)
+	live := newSliding(t)
+	var liveGen int64
+	for _, q := range qs {
+		feed(t, st, live, q, &liveGen)
+	}
+	// Tear the tail: chop a few bytes off the last record's frame.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments (%v)", err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror := newSliding(t)
+	for _, q := range qs[:14] {
+		_ = mirror.Observe(q)
+	}
+
+	st2 := openStore(t, dir, 100)
+	recovered, _, err := st2.Recover(testCapacity, testRetrain, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, recovered, mirror)
+	ri := st2.Info()
+	if !ri.TornTail || ri.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", ri)
+	}
+	if ri.Replayed != 14 {
+		t.Fatalf("replayed %d, want 14 (the valid prefix)", ri.Replayed)
+	}
+}
+
+// TestRecoverCorruptSnapshotFallback kills mid-snapshot in effect: the
+// newest snapshot is unreadable (WriteFileAtomic means a real crash leaves
+// the old file, but disks rot and bytes flip). Recovery falls back to the
+// previous snapshot and replays a longer tail — to the same state.
+func TestRecoverCorruptSnapshotFallback(t *testing.T) {
+	qs := observations(t, 30)
+	dir := t.TempDir()
+
+	st := openStore(t, dir, 8)
+	live := newSliding(t)
+	var liveGen int64
+	for _, q := range qs {
+		feed(t, st, live, q, &liveGen)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) < 2 {
+		t.Fatalf("want >= 2 snapshots, got %v (%v)", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mirror := newSliding(t)
+	for _, q := range qs {
+		_ = mirror.Observe(q)
+	}
+
+	st2 := openStore(t, dir, 8)
+	recovered, _, err := st2.Recover(testCapacity, testRetrain, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, recovered, mirror)
+	ri := st2.Info()
+	if ri.SnapshotSeq != 16 || ri.Replayed != 14 {
+		t.Fatalf("recovery info %+v, want fallback snapshot 16 + 14 replayed", ri)
+	}
+}
+
+// TestCleanShutdownSnapshot: Close takes a final snapshot, so a clean
+// restart replays nothing and keeps the generation moving forward.
+func TestCleanShutdownSnapshot(t *testing.T) {
+	qs := observations(t, 13)
+	dir := t.TempDir()
+
+	st := openStore(t, dir, 100)
+	live := newSliding(t)
+	var liveGen int64
+	for _, q := range qs {
+		feed(t, st, live, q, &liveGen)
+	}
+	if err := st.Close(live, liveGen); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, 100)
+	recovered, gen, err := st2.Recover(testCapacity, testRetrain, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, recovered, live)
+	if gen != liveGen {
+		t.Fatalf("generation %d, want %d", gen, liveGen)
+	}
+	ri := st2.Info()
+	if !ri.Recovered || ri.Replayed != 0 || ri.SnapshotSeq != 13 {
+		t.Fatalf("clean restart replayed the tail anyway: %+v", ri)
+	}
+}
+
+// TestRecoverConfigMismatch: a snapshot taken under one window
+// configuration must refuse to restore under another.
+func TestRecoverConfigMismatch(t *testing.T) {
+	qs := observations(t, 13)
+	dir := t.TempDir()
+	st := openStore(t, dir, 100)
+	live := newSliding(t)
+	var gen int64
+	for _, q := range qs {
+		feed(t, st, live, q, &gen)
+	}
+	if err := st.Close(live, gen); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir, 100)
+	_, _, err := st2.Recover(testCapacity+10, testRetrain, core.DefaultOptions())
+	if !errors.Is(err, core.ErrStateMismatch) {
+		t.Fatalf("capacity mismatch: %v", err)
+	}
+}
+
+func TestCheckManifest(t *testing.T) {
+	dir := t.TempDir()
+	want := wal.Manifest{Shards: 4, Partitioner: "hash", Capacity: 500, RetrainEvery: 100}
+	if err := wal.CheckManifest(dir, want); err != nil {
+		t.Fatalf("fresh dir: %v", err)
+	}
+	if err := wal.CheckManifest(dir, want); err != nil {
+		t.Fatalf("same config: %v", err)
+	}
+	bad := want
+	bad.Shards = 8
+	if err := wal.CheckManifest(dir, bad); err == nil {
+		t.Fatal("shard-count change accepted against an existing state dir")
+	}
+}

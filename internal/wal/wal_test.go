@@ -1,0 +1,509 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testPayload is a deterministic, variable-length record body.
+func testPayload(seq uint64) []byte {
+	return []byte(fmt.Sprintf("record-%d-%s", seq, bytes.Repeat([]byte{byte(seq)}, int(seq%37))))
+}
+
+// fill appends records 1..n and returns the log.
+func fill(t *testing.T, dir string, n int, opts Options) *Log {
+	t.Helper()
+	opts.Dir = dir
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		seq, err := l.Append(testPayload(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("append %d returned seq %d", i, seq)
+		}
+	}
+	return l
+}
+
+// collect replays the whole log into (seq, payload) pairs.
+func collect(t *testing.T, l *Log, from uint64) map[uint64][]byte {
+	t.Helper()
+	got := map[uint64][]byte{}
+	err := l.Replay(from, func(seq uint64, payload []byte) error {
+		if _, dup := got[seq]; dup {
+			t.Fatalf("sequence %d replayed twice", seq)
+		}
+		got[seq] = append([]byte(nil), payload...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// checkPrefix asserts got is exactly records 1..n with the right contents.
+func checkPrefix(t *testing.T, got map[uint64][]byte, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i := 1; i <= n; i++ {
+		if !bytes.Equal(got[uint64(i)], testPayload(uint64(i))) {
+			t.Fatalf("record %d payload corrupted", i)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := fill(t, dir, 100, Options{Policy: SyncNone})
+	if l.LastSeq() != 100 {
+		t.Fatalf("LastSeq = %d, want 100", l.LastSeq())
+	}
+	checkPrefix(t, collect(t, l, 1), 100)
+	// Double replay is idempotent: the log is read-only during replay.
+	checkPrefix(t, collect(t, l, 1), 100)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same records, appends continue the sequence.
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 100 {
+		t.Fatalf("reopened LastSeq = %d, want 100", l2.LastSeq())
+	}
+	if torn, _ := l2.TornTail(); torn {
+		t.Fatal("clean log reported a torn tail")
+	}
+	seq, err := l2.Append(testPayload(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 101 {
+		t.Fatalf("post-reopen append seq = %d, want 101", seq)
+	}
+	checkPrefix(t, collect(t, l2, 1), 101)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := fill(t, dir, 200, Options{Policy: SyncNone, SegmentBytes: 512})
+	if l.Segments() < 3 {
+		t.Fatalf("expected rotation, got %d segments", l.Segments())
+	}
+	checkPrefix(t, collect(t, l, 1), 200)
+	l.Close()
+
+	l2, err := Open(Options{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	checkPrefix(t, collect(t, l2, 1), 200)
+
+	// Replay from the middle: only the tail comes back.
+	tail := collect(t, l2, 151)
+	if len(tail) != 50 {
+		t.Fatalf("tail replay returned %d records, want 50", len(tail))
+	}
+	for seq, p := range tail {
+		if seq < 151 || !bytes.Equal(p, testPayload(seq)) {
+			t.Fatalf("tail record %d wrong", seq)
+		}
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l := fill(t, dir, 200, Options{Policy: SyncNone, SegmentBytes: 512})
+	defer l.Close()
+	before := l.Segments()
+	if err := l.TruncateBefore(180); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() >= before {
+		t.Fatalf("TruncateBefore removed nothing (%d -> %d segments)", before, l.Segments())
+	}
+	// Records >= 180 must survive; the append segment is never deleted.
+	tail := collect(t, l, 180)
+	for seq := uint64(180); seq <= 200; seq++ {
+		if !bytes.Equal(tail[seq], testPayload(seq)) {
+			t.Fatalf("record %d lost by truncation", seq)
+		}
+	}
+	// Truncating everything still keeps the append segment functional.
+	if err := l.TruncateBefore(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() < 1 {
+		t.Fatal("append segment deleted")
+	}
+	if _, err := l.Append(testPayload(201)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendLimitsAndClose(t *testing.T) {
+	l := fill(t, t.TempDir(), 1, Options{})
+	if _, err := l.Append(nil); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("empty payload: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(testPayload(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Replay(1, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("replay after close: %v", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "batch": SyncBatch, "none": SyncNone, "BATCH": SyncBatch} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestSyncAlways(t *testing.T) {
+	l := fill(t, t.TempDir(), 20, Options{Policy: SyncAlways})
+	defer l.Close()
+	checkPrefix(t, collect(t, l, 1), 20)
+}
+
+// lastSegment returns the path of the lexically last segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (%v)", dir, err)
+	}
+	return names[len(names)-1]
+}
+
+// copyDir clones a log directory so each corruption case starts pristine.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestTornTailEveryOffset is the recovery property test: a log whose last
+// segment is cut at EVERY possible byte offset must open without error and
+// replay exactly the records that fit entirely before the cut — a valid
+// prefix, never a panic, never a partial or reordered record. Re-opening
+// the repaired log must be a no-op (repair is idempotent).
+func TestTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	const total = 24
+	l := fill(t, master, total, Options{Policy: SyncNone, SegmentBytes: 400})
+	if l.Segments() < 2 {
+		t.Fatalf("fixture needs >= 2 segments, got %d", l.Segments())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the record frame boundaries of the last segment to know
+	// the expected valid prefix for each cut.
+	lastPath := lastSegment(t, master)
+	lastData, err := os.ReadFile(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopen, err := Open(Options{Dir: master})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFirst := reopen.segs[len(reopen.segs)-1].firstSeq
+	reopen.Close()
+
+	boundaries := []int64{int64(segHeaderLen)} // offsets where a record ends
+	off := int64(segHeaderLen)
+	for seq := lastFirst; seq <= total; seq++ {
+		off += int64(recHeaderLen + len(testPayload(seq)))
+		boundaries = append(boundaries, off)
+	}
+	if off != int64(len(lastData)) {
+		t.Fatalf("frame reconstruction drifted: %d != %d", off, len(lastData))
+	}
+
+	for cut := int64(0); cut <= int64(len(lastData)); cut++ {
+		dir := copyDir(t, master)
+		if err := os.Truncate(lastSegment(t, dir), cut); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		// Expected surviving records: everything before the last segment,
+		// plus the last-segment records wholly below the cut. A cut inside
+		// the segment header kills the whole file (and with it nothing
+		// else — it is the final segment).
+		want := int(lastFirst) - 1
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= cut {
+				want = int(lastFirst) - 1 + i
+			}
+		}
+		got := collect(t, l, 1)
+		checkPrefix(t, got, want)
+		if l.LastSeq() != uint64(want) {
+			t.Fatalf("cut %d: LastSeq = %d, want %d", cut, l.LastSeq(), want)
+		}
+		// The log must accept appends right after repair.
+		if _, err := l.Append(testPayload(uint64(want + 1))); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		l.Close()
+
+		// Idempotence: opening the repaired log again finds nothing to fix.
+		l2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: second Open: %v", cut, err)
+		}
+		if torn, _ := l2.TornTail(); torn {
+			t.Fatalf("cut %d: second Open repaired again", cut)
+		}
+		checkPrefix(t, collect(t, l2, 1), want+1)
+		l2.Close()
+	}
+}
+
+// TestBitFlipRecovery flips each byte of the last segment (one at a time)
+// and checks recovery still yields a valid, CRC-clean prefix.
+func TestBitFlipRecovery(t *testing.T) {
+	master := t.TempDir()
+	const total = 12
+	l := fill(t, master, total, Options{Policy: SyncNone})
+	l.Close()
+	lastData, err := os.ReadFile(lastSegment(t, master))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(lastData); pos++ {
+		dir := copyDir(t, master)
+		path := lastSegment(t, dir)
+		mut := append([]byte(nil), lastData...)
+		mut[pos] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("flip at %d: Open: %v", pos, err)
+		}
+		got := collect(t, l, 1)
+		// A flip may land in a payload byte whose record then fails CRC, or
+		// in framing; either way the survivors must be a contiguous,
+		// uncorrupted prefix.
+		checkPrefix(t, got, len(got))
+		if len(got) == total {
+			t.Fatalf("flip at %d: corruption went undetected", pos)
+		}
+		l.Close()
+	}
+}
+
+// TestCorruptEarlierSegmentDropsLaterOnes: the valid-prefix guarantee is
+// global — a corrupt record in segment k discards segments k+1..n entirely,
+// even if their contents are intact.
+func TestCorruptEarlierSegmentDropsLaterOnes(t *testing.T) {
+	dir := t.TempDir()
+	l := fill(t, dir, 200, Options{Policy: SyncNone, SegmentBytes: 512})
+	if l.Segments() < 3 {
+		t.Fatalf("need >= 3 segments, got %d", l.Segments())
+	}
+	firstPath := l.segs[0].path
+	firstCount := l.segs[0].count
+	l.Close()
+
+	// Chop the first segment mid-record.
+	info, err := os.Stat(firstPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(firstPath, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if torn, n := l2.TornTail(); !torn || n == 0 {
+		t.Fatalf("TornTail = %v, %d", torn, n)
+	}
+	want := int(firstCount) - 1
+	checkPrefix(t, collect(t, l2, 1), want)
+	if l2.Segments() != 1 {
+		t.Fatalf("later segments survived a mid-log corruption: %d segments", l2.Segments())
+	}
+	// And the sequence continues from the repaired point.
+	seq, err := l2.Append(testPayload(uint64(want + 1)))
+	if err != nil || seq != uint64(want+1) {
+		t.Fatalf("append after repair: seq %d, err %v", seq, err)
+	}
+}
+
+// TestReplayTailOnly100k: the acceptance bound — a log holding 100k
+// observations replays only the records behind the snapshot position, in
+// well under a second, because covered segments are skipped whole.
+func TestReplayTailOnly100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-record log in -short mode")
+	}
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNone, SegmentBytes: 256 << 10}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := []byte(`{"sql":"SELECT COUNT(*) FROM store_sales","metrics":{"elapsed_sec":1.5}}`)
+	const total = 100_000
+	for i := 0; i < total; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 5 {
+		t.Fatalf("fixture too small: %d segments", l.Segments())
+	}
+	// Snapshot at 99_900 truncates covered segments…
+	if err := l.TruncateBefore(99_901); err != nil {
+		t.Fatal(err)
+	}
+	// …and replaying the tail touches only what remains.
+	replayed := 0
+	if err := l.Replay(99_901, func(seq uint64, _ []byte) error {
+		if seq <= 99_900 {
+			t.Fatalf("replayed covered record %d", seq)
+		}
+		replayed++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 100 {
+		t.Fatalf("replayed %d records, want 100", replayed)
+	}
+}
+
+// FuzzWALTail appends arbitrary bytes after a valid log prefix and checks
+// the recovery contract: Open never fails on corruption (only real I/O
+// errors), the valid prefix always survives, and repair is idempotent.
+func FuzzWALTail(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte("garbage tail"), uint8(3))
+	f.Add(bytes.Repeat([]byte{0}, 64), uint8(7))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}, uint8(0))
+	f.Fuzz(func(t *testing.T, tail []byte, cutBack uint8) {
+		dir := t.TempDir()
+		opts := Options{Dir: dir, Policy: SyncNone}
+		l, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const valid = 5
+		for i := 1; i <= valid; i++ {
+			if _, err := l.Append(testPayload(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Close()
+
+		// Mutate the tail: cut back up to cutBack bytes, then append fuzz
+		// data — a superset of torn appends, partial frames, and garbage.
+		path := lastSegment(t, dir)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := int(cutBack); n > 0 && n < len(data) {
+			data = data[:len(data)-n]
+		}
+		data = append(data, tail...)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		l1, err := Open(opts)
+		if err != nil {
+			t.Fatalf("Open on corrupt tail: %v", err)
+		}
+		got := map[uint64][]byte{}
+		if err := l1.Replay(1, func(seq uint64, payload []byte) error {
+			got[seq] = append([]byte(nil), payload...)
+			return nil
+		}); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		// Sequences must be a contiguous 1..n and every record untouched by
+		// the fuzz data must match what was appended. (Fuzz bytes that form
+		// a CRC-valid frame are legitimately replayed — indistinguishable
+		// from a real append by design.)
+		for i := 1; i <= len(got); i++ {
+			p, ok := got[uint64(i)]
+			if !ok {
+				t.Fatalf("gap at sequence %d of %d", i, len(got))
+			}
+			if cutBack == 0 && i <= valid && !bytes.Equal(p, testPayload(uint64(i))) {
+				t.Fatalf("intact record %d corrupted by recovery", i)
+			}
+		}
+		count1 := len(got)
+		l1.Close()
+
+		// Idempotence: the repaired log reopens identically.
+		l2, err := Open(opts)
+		if err != nil {
+			t.Fatalf("second Open: %v", err)
+		}
+		if torn, _ := l2.TornTail(); torn {
+			t.Fatal("second Open repaired again")
+		}
+		if int(l2.LastSeq()) != count1 {
+			t.Fatalf("second Open sees %d records, first saw %d", l2.LastSeq(), count1)
+		}
+		l2.Close()
+	})
+}

@@ -9,7 +9,10 @@
 // Transient failures — 429 (a shard's queue is full) and 5xx — are retried
 // with jittered exponential backoff, honoring the server's Retry-After
 // hint; everything else (4xx, malformed bodies) fails immediately with an
-// *APIError carrying the server's stable error code. All calls respect
+// *APIError carrying the server's stable error code. A 503 whose code is
+// shutting_down is final despite its retryable status: the daemon is
+// draining and will not come back, so the client surfaces the error
+// immediately instead of hammering a dying process. All calls respect
 // context cancellation, including mid-backoff.
 package qpredictclient
 
@@ -304,6 +307,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				apiErr.Message = http.StatusText(resp.StatusCode)
 			}
 			if !retryable(resp.StatusCode) {
+				return apiErr
+			}
+			// A draining server reports shutting_down until the listener
+			// stops: the condition is terminal for that process, so retrying
+			// against it only delays the caller's failover.
+			if apiErr.Code == api.CodeShuttingDown {
 				return apiErr
 			}
 			lastErr = apiErr

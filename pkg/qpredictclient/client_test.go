@@ -125,6 +125,28 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 }
 
+// TestNoRetryOnShuttingDown: 503s are retryable in general, but a server
+// that reports shutting_down is draining — it will not come back on this
+// address, and hammering it slows the drain. The client must give up after
+// the first response.
+func TestNoRetryOnShuttingDown(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		errorBody(w, http.StatusServiceUnavailable, api.CodeShuttingDown)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastOpts())
+	_, err := c.Predict(context.Background(), "SELECT 1")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeShuttingDown {
+		t.Fatalf("err = %v, want APIError{shutting_down}", err)
+	}
+	if calls.Load() != 1 || c.Retries() != 0 {
+		t.Errorf("calls %d retries %d; a draining server must not be retried", calls.Load(), c.Retries())
+	}
+}
+
 func TestRetryAfterParsing(t *testing.T) {
 	h := http.Header{}
 	if d := retryAfter(h); d != 0 {
