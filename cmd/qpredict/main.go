@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/api"
 	"repro/internal/catalog"
@@ -31,15 +32,18 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/exec"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
 	"repro/internal/statutil"
 	"repro/internal/wal"
 	"repro/internal/workload"
+	"repro/pkg/qpredict"
 )
 
 func main() {
+	cfgPath := flag.String("config", "", "JSON options file (pkg/qpredict Options; explicitly set flags override it)")
 	sqlText := flag.String("sql", "", "SQL statement to predict (omit to run a self-evaluation)")
 	trainCount := flag.Int("train", 1000, "training workload size")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -54,6 +58,47 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /timings, /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	defer cli.RunHooks()
+
+	// -config loads the shared qpredict.Options file; the CLI consumes its
+	// train block (the serve/shard/champion blocks belong to qpredictd).
+	// Explicitly set flags override the file, reported once.
+	if *cfgPath != "" {
+		opts, err := qpredict.LoadFile(*cfgPath)
+		if err != nil {
+			cli.Fatalf("%v", err)
+		}
+		set := map[string]bool{}
+		var overridden []string
+		flag.Visit(func(f *flag.Flag) {
+			set[f.Name] = true
+			switch f.Name {
+			case "train", "seed", "dataseed", "machine", "twostep", "load":
+				overridden = append(overridden, "-"+f.Name)
+			}
+		})
+		if !set["train"] {
+			*trainCount = opts.Train.Count
+		}
+		if !set["seed"] {
+			*seed = opts.Train.Seed
+		}
+		if !set["dataseed"] {
+			*dataSeed = opts.Train.DataSeed
+		}
+		if !set["machine"] {
+			*machineName = opts.Train.Machine
+		}
+		if !set["twostep"] {
+			*twoStep = opts.Train.TwoStep
+		}
+		if !set["load"] && opts.Train.Load != "" {
+			*loadFrom = opts.Train.Load
+		}
+		if len(overridden) > 0 {
+			fmt.Fprintf(os.Stderr, "note: %s override %s (flags beat config; move them into the file to silence this)\n",
+				strings.Join(overridden, " "), *cfgPath)
+		}
+	}
 
 	if *metricsAddr != "" {
 		addr, err := obs.ServeMetrics(*metricsAddr)
@@ -173,6 +218,7 @@ func emitJSON(p *core.Predictor, sql string, cost float64, pred *core.Prediction
 		Model: &api.ModelInfo{
 			Generation: 1,
 			TrainedOn:  p.N(),
+			ModelKind:  model.KindKCCA,
 			Features:   opt.Features.String(),
 			TwoStep:    opt.TwoStep,
 		},
@@ -183,6 +229,7 @@ func emitJSON(p *core.Predictor, sql string, cost float64, pred *core.Prediction
 			Confidence:    pred.Confidence,
 			OptimizerCost: cost,
 			Generation:    1,
+			ModelKind:     model.KindKCCA,
 		}},
 	}
 	enc := json.NewEncoder(os.Stdout)

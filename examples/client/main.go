@@ -10,6 +10,13 @@
 // requests — against a daemon started with a tiny queue (-queue 1) this
 // forces 429 shed-load responses and demonstrates the client's bounded
 // retry with jittered backoff (the CI smoke test uses exactly this).
+//
+// With -observe N the example regenerates the daemon's workload locally
+// (same -train/-seed/-dataseed) and replays N executed queries through
+// /v1/observe with their true measured metrics, issuing a prediction after
+// every batch to prove the daemon keeps serving. Against a daemon whose
+// champion/challenger zoo is on, this is what drives shadow scoring and
+// promotion (the CI zoo smoke uses exactly this).
 package main
 
 import (
@@ -21,6 +28,10 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
 	"repro/pkg/qpredictclient"
 )
 
@@ -35,6 +46,10 @@ func main() {
 	addr := flag.String("addr", "http://localhost:8080", "qpredictd base URL")
 	burst := flag.Int("burst", 0, "fire N concurrent requests instead (forces 429s against a tiny -queue daemon)")
 	retries := flag.Int("retries", 3, "max retry attempts per request")
+	observe := flag.Int("observe", 0, "replay N executed queries from the regenerated workload as observations")
+	train := flag.Int("train", 160, "with -observe: the daemon's -train count")
+	seed := flag.Int64("seed", 1, "with -observe: the daemon's workload seed")
+	dataseed := flag.Int64("dataseed", 1000, "with -observe: the daemon's data seed")
 	flag.Parse()
 
 	c := qpredictclient.New(*addr, &qpredictclient.Options{MaxRetries: *retries})
@@ -56,6 +71,11 @@ func main() {
 	if *burst > 0 {
 		runBurst(ctx, c, *burst)
 		fmt.Printf("client retries: %d\n", c.Retries())
+		return
+	}
+
+	if *observe > 0 {
+		runObserve(ctx, c, *observe, *train, *seed, *dataseed)
 		return
 	}
 
@@ -120,6 +140,46 @@ func main() {
 	wg.Wait()
 	fmt.Printf("batched 16 concurrent predictions\n")
 	fmt.Printf("client retries: %d\n", c.Retries())
+}
+
+// runObserve regenerates the daemon's training workload (the simulated
+// executor is deterministic in its seeds, so the same parameters reproduce
+// the same queries and metrics) and replays n of them as executed-query
+// observations. A prediction is issued after every batch: the serving path
+// must never drop a request while observations retrain, shadow-score, and
+// possibly promote models behind it.
+func runObserve(ctx context.Context, c *qpredictclient.Client, n, train int, seed, dataseed int64) {
+	pool, err := dataset.Generate(dataset.GenConfig{
+		Seed: seed, DataSeed: dataseed, Machine: exec.Research4(),
+		Schema: catalog.TPCDS(1), Templates: workload.TPCDSTemplates(), Count: train,
+	})
+	if err != nil {
+		log.Fatalf("regenerating workload: %v", err)
+	}
+	const batch = 20
+	sent := 0
+	for sent < n {
+		var obs []api.Observation
+		for i := sent; i < n && i < sent+batch; i++ {
+			q := pool.Queries[i%len(pool.Queries)]
+			m := q.Metrics
+			obs = append(obs, api.Observation{SQL: q.SQL, Metrics: api.Metrics{
+				ElapsedSec: m.ElapsedSec, RecordsAccessed: m.RecordsAccessed,
+				RecordsUsed: m.RecordsUsed, DiskIOs: m.DiskIOs,
+				MessageCount: m.MessageCount, MessageBytes: m.MessageBytes,
+			}})
+		}
+		if _, err := c.Observe(ctx, obs...); err != nil {
+			log.Fatalf("observe at %d: %v", sent, err)
+		}
+		sent += len(obs)
+		if res, err := c.PredictOne(ctx, queries[sent%len(queries)]); err != nil {
+			log.Fatalf("predict during observe stream (after %d): %v", sent, err)
+		} else if res.Metrics == nil {
+			log.Fatalf("empty prediction during observe stream (after %d)", sent)
+		}
+	}
+	fmt.Printf("observed %d executed queries, predictions served throughout\n", sent)
 }
 
 // runBurst fires n concurrent single-query predictions. Against a daemon

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"bytes"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// KCCA adapts the paper's KCCA + kNN predictor (core.Predictor) to the
+// Model interface. Predict delegates straight to the wrapped predictor, so
+// predictions through the adapter are bit-identical to the direct path.
+type KCCA struct {
+	p      *core.Predictor
+	fp     uint64
+	fpOnce sync.Once
+}
+
+// WrapKCCA wraps a trained core predictor as a Model. The predictor must
+// not be mutated afterwards.
+func WrapKCCA(p *core.Predictor) *KCCA { return &KCCA{p: p} }
+
+// Predictor exposes the wrapped core predictor for callers that need the
+// KCCA-specific surface (options, kNN index, projection introspection).
+func (m *KCCA) Predictor() *core.Predictor { return m.p }
+
+// Kind implements Model.
+func (m *KCCA) Kind() string { return KindKCCA }
+
+// N implements Model.
+func (m *KCCA) N() int { return m.p.N() }
+
+// Predict implements Model by delegating to the wrapped predictor —
+// bit-identical to calling it directly.
+func (m *KCCA) Predict(reqs ...core.Request) []core.Result {
+	return m.p.Predict(reqs...)
+}
+
+// Save implements Model. The payload is the core predictor's own framed
+// save format nested inside the zoo envelope, so the core loader does all
+// validation on the way back in.
+func (m *KCCA) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := m.p.Save(&buf); err != nil {
+		return err
+	}
+	return saveEnvelope(w, KindKCCA, buf.Bytes())
+}
+
+// Fingerprint implements Model. It hashes the learned query-space
+// projection (the parameters every prediction flows through) rather than
+// Save output, because gob's map encoding makes save bytes nondeterministic
+// for two-step models.
+func (m *KCCA) Fingerprint() uint64 {
+	m.fpOnce.Do(func() {
+		fp := newFingerprinter(KindKCCA)
+		km := m.p.Model()
+		proj := km.QueryProj
+		fp.addInt(m.p.N())
+		fp.addInt(proj.Rows)
+		fp.addInt(proj.Cols)
+		for i := 0; i < proj.Rows; i++ {
+			fp.addFloats(proj.Row(i))
+		}
+		fp.addFloats(km.Correlations)
+		m.fp = fp.sum()
+	})
+	return m.fp
+}
+
+// KCCATrainer trains KCCA models with the given core options.
+type KCCATrainer struct {
+	Opt core.Options
+}
+
+// Kind implements Trainer.
+func (t *KCCATrainer) Kind() string { return KindKCCA }
+
+// Train implements Trainer via core.Train — the exact pre-zoo training
+// path.
+func (t *KCCATrainer) Train(qs []*dataset.Query) (Model, error) {
+	p, err := core.Train(qs, t.Opt)
+	if err != nil {
+		return nil, err
+	}
+	return WrapKCCA(p), nil
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/linalg"
+	"repro/internal/regress"
+	"repro/internal/workload"
+)
+
+// OptCost is the calibrated optimizer-cost baseline (Kleerekoper et al.):
+// each metric is regressed on the optimizer's scalar cost estimate in log
+// space, log1p(metric) = a + b·log1p(cost). The paper's Fig. 17 shows raw
+// optimizer cost correlates with runtime but in optimizer units; this
+// learns the units conversion per metric. It is deliberately the weakest
+// zoo member — two parameters per metric — and the cheapest to retrain,
+// which is exactly what a champion/challenger loop needs as its floor.
+type OptCost struct {
+	// coef[m] = {intercept, slope} for metric m.
+	coef   [exec.NumMetrics][2]float64
+	n      int
+	conf   float64
+	fp     uint64
+	fpOnce sync.Once
+}
+
+// Kind implements Model.
+func (m *OptCost) Kind() string { return KindOptCost }
+
+// N implements Model.
+func (m *OptCost) N() int { return m.n }
+
+// Predict implements Model. Requests must carry a planned query — the only
+// input this kind reads is the plan's cost estimate.
+func (m *OptCost) Predict(reqs ...core.Request) []core.Result {
+	out := make([]core.Result, len(reqs))
+	for i, r := range reqs {
+		out[i].Prediction, out[i].Err = m.predictOne(r)
+	}
+	return out
+}
+
+func (m *OptCost) predictOne(r core.Request) (*core.Prediction, error) {
+	if r.Query == nil {
+		return nil, fmt.Errorf("model: optcost needs a planned query: %w", core.ErrNoPlan)
+	}
+	if r.Query.Plan == nil {
+		return nil, core.ErrNoPlan
+	}
+	lc := math.Log1p(math.Max(r.Query.Plan.Cost, 0))
+	var v [exec.NumMetrics]float64
+	for mi := 0; mi < exec.NumMetrics; mi++ {
+		v[mi] = clampMetric(math.Expm1(m.coef[mi][0] + m.coef[mi][1]*lc))
+	}
+	met := exec.MetricsFromVector(v[:])
+	return &core.Prediction{
+		Metrics:    met,
+		Category:   workload.Categorize(met.ElapsedSec),
+		Confidence: m.conf,
+	}, nil
+}
+
+// optCostWire is the gob mirror of OptCost.
+type optCostWire struct {
+	N    int
+	Coef [][2]float64
+	Conf float64
+}
+
+// Save implements Model.
+func (m *OptCost) Save(w io.Writer) error {
+	wire := optCostWire{N: m.n, Conf: m.conf, Coef: m.coef[:]}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wire); err != nil {
+		return fmt.Errorf("model: encoding optcost: %w", err)
+	}
+	return saveEnvelope(w, KindOptCost, buf.Bytes())
+}
+
+func loadOptCost(payload []byte) (Model, error) {
+	var wire optCostWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("%w: decoding optcost: %v", ErrBadModelFile, err)
+	}
+	if len(wire.Coef) != exec.NumMetrics {
+		return nil, fmt.Errorf("%w: optcost has %d metric fits, want %d",
+			ErrBadModelFile, len(wire.Coef), exec.NumMetrics)
+	}
+	m := &OptCost{n: wire.N, conf: wire.Conf}
+	if m.n <= 0 {
+		return nil, fmt.Errorf("%w: optcost trained on %d queries", ErrBadModelFile, m.n)
+	}
+	if !(m.conf > 0 && m.conf <= 1) {
+		return nil, fmt.Errorf("%w: optcost confidence %v outside (0, 1]", ErrBadModelFile, m.conf)
+	}
+	for i, c := range wire.Coef {
+		if math.IsNaN(c[0]) || math.IsInf(c[0], 0) || math.IsNaN(c[1]) || math.IsInf(c[1], 0) {
+			return nil, fmt.Errorf("%w: optcost metric %d has a non-finite coefficient", ErrBadModelFile, i)
+		}
+		m.coef[i] = c
+	}
+	return m, nil
+}
+
+// Fingerprint implements Model.
+func (m *OptCost) Fingerprint() uint64 {
+	m.fpOnce.Do(func() {
+		fp := newFingerprinter(KindOptCost)
+		fp.addInt(m.n)
+		for _, c := range m.coef {
+			fp.addFloat(c[0])
+			fp.addFloat(c[1])
+		}
+		m.fp = fp.sum()
+	})
+	return m.fp
+}
+
+// OptCostTrainer fits calibrated optimizer-cost models.
+type OptCostTrainer struct{}
+
+// Kind implements Trainer.
+func (OptCostTrainer) Kind() string { return KindOptCost }
+
+// Train implements Trainer.
+func (OptCostTrainer) Train(qs []*dataset.Query) (Model, error) {
+	planned := make([]*dataset.Query, 0, len(qs))
+	for _, q := range qs {
+		if q != nil && q.Plan != nil {
+			planned = append(planned, q)
+		}
+	}
+	if len(planned) < 5 {
+		return nil, core.ErrTooFewQueries
+	}
+	x := linalg.NewMatrix(len(planned), 1)
+	for i, q := range planned {
+		x.Row(i)[0] = math.Log1p(math.Max(q.Plan.Cost, 0))
+	}
+	m := &OptCost{n: len(planned)}
+	y := make([]float64, len(planned))
+	for mi := 0; mi < exec.NumMetrics; mi++ {
+		for i, q := range planned {
+			y[i] = math.Log1p(math.Max(q.Metrics.Vector()[mi], 0))
+		}
+		fit, err := regress.Fit(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("model: fitting optcost for %s: %w", exec.MetricNames[mi], err)
+		}
+		m.coef[mi] = [2]float64{fit.Intercept, fit.Coef[0]}
+	}
+	m.conf = trainingConfidence(m, planned)
+	return m, nil
+}

@@ -1,0 +1,306 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/exec"
+	"repro/internal/linalg"
+	"repro/internal/optimizer"
+	"repro/internal/regress"
+	"repro/internal/workload"
+)
+
+// The plan-structured predictor follows Marcus & Negi's QPPNet shape in
+// miniature: one small learned unit per physical operator type, evaluated
+// on that node's local features and composed bottom-up along the plan tree
+// (a node's estimate is its own unit's output plus its children's). With
+// linear units the tree fold is exact and trainable in closed form: a
+// plan's total is the dot product of the concatenated per-op-type weight
+// vector with per-op-type aggregated features, so least squares over the
+// training plans fits every unit jointly. Targets are log1p(metric) —
+// metrics span orders of magnitude and are nonnegative, and expm1 on the
+// way out can never predict the negative elapsed times the paper ridicules
+// linear regression for.
+
+// psFeatures is the per-node local feature count: constant, log1p input
+// cardinality, log1p output cardinality, log1p output volume (rows·width),
+// broadcast flag, pairwise flag, log1p sort+group column count.
+const psFeatures = 7
+
+// psDims is the width of the concatenated design row: one unit per
+// operator type, psFeatures weights each.
+const psDims = optimizer.NumOpTypes * psFeatures
+
+// nodeFeatures fills dst (length psFeatures) with one node's local
+// features.
+func nodeFeatures(n *optimizer.Node, dst []float64) {
+	dst[0] = 1
+	dst[1] = math.Log1p(n.EstRowsIn)
+	dst[2] = math.Log1p(n.EstRows)
+	dst[3] = math.Log1p(n.EstRows * float64(n.Width))
+	dst[4] = 0
+	if n.Broadcast {
+		dst[4] = 1
+	}
+	dst[5] = 0
+	if n.Pairwise {
+		dst[5] = 1
+	}
+	dst[6] = math.Log1p(float64(n.SortCols + n.GroupCols))
+}
+
+// planDesignRow aggregates a plan's per-node features into one design row
+// of psDims columns (features summed per operator type — exactly what the
+// linear tree fold dots against).
+func planDesignRow(p *optimizer.Plan, row []float64) {
+	var f [psFeatures]float64
+	p.Root.Walk(func(n *optimizer.Node) {
+		op := int(n.Op)
+		if op < 0 || op >= optimizer.NumOpTypes {
+			return
+		}
+		nodeFeatures(n, f[:])
+		base := op * psFeatures
+		for j, v := range f {
+			row[base+j] += v
+		}
+	})
+}
+
+// PlanStruct is a trained plan-structured per-operator model.
+type PlanStruct struct {
+	// units[m] holds the per-op-type unit weights for metric m,
+	// concatenated in operator order (psFeatures weights per op type).
+	units [exec.NumMetrics][]float64
+	// intercepts[m] is the global intercept for metric m, applied once at
+	// the plan root.
+	intercepts [exec.NumMetrics]float64
+	n          int
+	// conf is the model-level confidence derived from training residuals
+	// on elapsed time, in (0, 1].
+	conf   float64
+	fp     uint64
+	fpOnce sync.Once
+}
+
+// Kind implements Model.
+func (m *PlanStruct) Kind() string { return KindPlanStruct }
+
+// N implements Model.
+func (m *PlanStruct) N() int { return m.n }
+
+// unitOut evaluates one node's learned unit for metric mi.
+func (m *PlanStruct) unitOut(n *optimizer.Node, mi int) float64 {
+	op := int(n.Op)
+	if op < 0 || op >= optimizer.NumOpTypes {
+		return 0
+	}
+	var f [psFeatures]float64
+	nodeFeatures(n, f[:])
+	w := m.units[mi][op*psFeatures : (op+1)*psFeatures]
+	s := 0.0
+	for j := range f {
+		s += w[j] * f[j]
+	}
+	return s
+}
+
+// foldNode composes the tree bottom-up: a node's estimate is its unit's
+// output plus the sum of its children's estimates.
+func (m *PlanStruct) foldNode(n *optimizer.Node, mi int) float64 {
+	s := m.unitOut(n, mi)
+	for _, c := range n.Children {
+		s += m.foldNode(c, mi)
+	}
+	return s
+}
+
+// Predict implements Model. Requests must carry a planned query — this
+// kind predicts from plan structure, so a raw feature vector is not enough.
+func (m *PlanStruct) Predict(reqs ...core.Request) []core.Result {
+	out := make([]core.Result, len(reqs))
+	for i, r := range reqs {
+		out[i].Prediction, out[i].Err = m.predictOne(r)
+	}
+	return out
+}
+
+func (m *PlanStruct) predictOne(r core.Request) (*core.Prediction, error) {
+	if r.Query == nil {
+		return nil, fmt.Errorf("model: planstruct needs a planned query: %w", core.ErrNoPlan)
+	}
+	if r.Query.Plan == nil || r.Query.Plan.Root == nil {
+		return nil, core.ErrNoPlan
+	}
+	var v [exec.NumMetrics]float64
+	for mi := 0; mi < exec.NumMetrics; mi++ {
+		v[mi] = clampMetric(math.Expm1(m.intercepts[mi] + m.foldNode(r.Query.Plan.Root, mi)))
+	}
+	met := exec.MetricsFromVector(v[:])
+	return &core.Prediction{
+		Metrics:    met,
+		Category:   workload.Categorize(met.ElapsedSec),
+		Confidence: m.conf,
+	}, nil
+}
+
+// clampMetric guards the expm1 output: metrics are nonnegative and finite.
+func clampMetric(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if math.IsInf(v, 1) || v > math.MaxFloat64/2 {
+		return math.MaxFloat64 / 2
+	}
+	return v
+}
+
+// planStructWire is the gob mirror of PlanStruct (slices only — no maps, so
+// encoding is deterministic).
+type planStructWire struct {
+	N          int
+	Units      [][]float64
+	Intercepts []float64
+	Conf       float64
+}
+
+// Save implements Model.
+func (m *PlanStruct) Save(w io.Writer) error {
+	wire := planStructWire{N: m.n, Conf: m.conf, Intercepts: m.intercepts[:]}
+	wire.Units = make([][]float64, exec.NumMetrics)
+	for i := range m.units {
+		wire.Units[i] = m.units[i]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wire); err != nil {
+		return fmt.Errorf("model: encoding planstruct: %w", err)
+	}
+	return saveEnvelope(w, KindPlanStruct, buf.Bytes())
+}
+
+func loadPlanStruct(payload []byte) (Model, error) {
+	var wire planStructWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("%w: decoding planstruct: %v", ErrBadModelFile, err)
+	}
+	if len(wire.Units) != exec.NumMetrics || len(wire.Intercepts) != exec.NumMetrics {
+		return nil, fmt.Errorf("%w: planstruct has %d metric units and %d intercepts, want %d",
+			ErrBadModelFile, len(wire.Units), len(wire.Intercepts), exec.NumMetrics)
+	}
+	m := &PlanStruct{n: wire.N, conf: wire.Conf}
+	if m.n <= 0 {
+		return nil, fmt.Errorf("%w: planstruct trained on %d queries", ErrBadModelFile, m.n)
+	}
+	if !(m.conf > 0 && m.conf <= 1) {
+		return nil, fmt.Errorf("%w: planstruct confidence %v outside (0, 1]", ErrBadModelFile, m.conf)
+	}
+	for i := range m.units {
+		if len(wire.Units[i]) != psDims {
+			return nil, fmt.Errorf("%w: planstruct unit vector %d has %d weights, want %d",
+				ErrBadModelFile, i, len(wire.Units[i]), psDims)
+		}
+		for _, v := range wire.Units[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: planstruct unit vector %d has a non-finite weight", ErrBadModelFile, i)
+			}
+		}
+		m.units[i] = wire.Units[i]
+	}
+	copy(m.intercepts[:], wire.Intercepts)
+	return m, nil
+}
+
+// Fingerprint implements Model.
+func (m *PlanStruct) Fingerprint() uint64 {
+	m.fpOnce.Do(func() {
+		fp := newFingerprinter(KindPlanStruct)
+		fp.addInt(m.n)
+		for i := range m.units {
+			fp.addFloat(m.intercepts[i])
+			fp.addFloats(m.units[i])
+		}
+		m.fp = fp.sum()
+	})
+	return m.fp
+}
+
+// PlanStructTrainer fits plan-structured models.
+type PlanStructTrainer struct{}
+
+// Kind implements Trainer.
+func (PlanStructTrainer) Kind() string { return KindPlanStruct }
+
+// Train implements Trainer: least squares of log1p(metric) on the per-plan
+// aggregated per-op-type features (the linear tree fold in matrix form).
+// linalg.LeastSquares falls back to a tiny ridge for rank-deficient
+// designs, so small windows that don't exercise every operator type still
+// train.
+func (PlanStructTrainer) Train(qs []*dataset.Query) (Model, error) {
+	planned := make([]*dataset.Query, 0, len(qs))
+	for _, q := range qs {
+		if q != nil && q.Plan != nil && q.Plan.Root != nil {
+			planned = append(planned, q)
+		}
+	}
+	if len(planned) < 5 {
+		return nil, core.ErrTooFewQueries
+	}
+	x := linalg.NewMatrix(len(planned), psDims)
+	y := linalg.NewMatrix(len(planned), exec.NumMetrics)
+	for i, q := range planned {
+		planDesignRow(q.Plan, x.Row(i))
+		mv := q.Metrics.Vector()
+		yr := y.Row(i)
+		for j, v := range mv {
+			yr[j] = math.Log1p(math.Max(v, 0))
+		}
+	}
+	mm, err := regress.FitMulti(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("model: fitting planstruct units: %w", err)
+	}
+	m := &PlanStruct{n: len(planned)}
+	for mi := 0; mi < exec.NumMetrics; mi++ {
+		m.intercepts[mi] = mm.Models[mi].Intercept
+		m.units[mi] = mm.Models[mi].Coef
+	}
+	m.conf = trainingConfidence(m, planned)
+	return m, nil
+}
+
+// trainingConfidence maps the model's mean relative error on training
+// elapsed time to (0, 1] — crude, deterministic, and honest about fit
+// quality; challengers with poor in-sample fit announce it.
+func trainingConfidence(m Model, qs []*dataset.Query) float64 {
+	reqs := make([]core.Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = core.Request{Query: q}
+	}
+	var pred, act []float64
+	for i, res := range m.Predict(reqs...) {
+		if res.Err != nil || res.Prediction == nil {
+			continue
+		}
+		pred = append(pred, res.Prediction.Metrics.ElapsedSec)
+		act = append(act, qs[i].Metrics.ElapsedSec)
+	}
+	if len(pred) == 0 {
+		return 0.5
+	}
+	c := 1 / (1 + eval.MeanRelativeError(pred, act))
+	if !(c > 0) {
+		c = 1e-3
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,271 @@
+package model
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// PromotionPolicy decides when a shadow challenger replaces the champion:
+// windowed relative-error dominance with hysteresis. A challenger is
+// dominant on a decision tick when, in every workload category where both
+// it and the champion have at least MinSamples scored observations (and
+// there is at least one such category), its windowed mean relative error on
+// elapsed time beats the champion's by at least Margin. Promotion requires
+// Hysteresis consecutive dominant ticks (so a lucky window can't flip the
+// champion), and after a promotion no further promotion is considered for
+// Cooldown ticks (so two near-equal models can't flap).
+type PromotionPolicy struct {
+	// Window is the per-(kind, category) score ring size.
+	Window int
+	// MinSamples is the per-category sample floor below which a category
+	// is not comparable.
+	MinSamples int
+	// Margin is the required relative improvement: challenger mean ≤
+	// (1 − Margin) · champion mean in every comparable category.
+	Margin float64
+	// Hysteresis is the number of consecutive dominant decision ticks
+	// required before promoting.
+	Hysteresis int
+	// Cooldown is the number of decision ticks to ignore after a
+	// promotion.
+	Cooldown int
+}
+
+// DefaultPromotionPolicy returns the serving default: 256-deep windows,
+// 20-sample comparability floor, 5% margin, 3-tick hysteresis, 200-tick
+// cooldown.
+func DefaultPromotionPolicy() PromotionPolicy {
+	return PromotionPolicy{Window: 256, MinSamples: 20, Margin: 0.05, Hysteresis: 3, Cooldown: 200}
+}
+
+// withDefaults fills zero fields so a partially-specified policy behaves.
+func (p PromotionPolicy) withDefaults() PromotionPolicy {
+	d := DefaultPromotionPolicy()
+	if p.Window <= 0 {
+		p.Window = d.Window
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = d.MinSamples
+	}
+	if p.Margin < 0 {
+		p.Margin = d.Margin
+	}
+	if p.Hysteresis <= 0 {
+		p.Hysteresis = d.Hysteresis
+	}
+	if p.Cooldown < 0 {
+		p.Cooldown = d.Cooldown
+	}
+	return p
+}
+
+// scoreRing is a fixed-size ring of (pred, act) elapsed-time pairs.
+type scoreRing struct {
+	pred, act []float64
+	n, next   int
+}
+
+func newScoreRing(capacity int) *scoreRing {
+	return &scoreRing{pred: make([]float64, capacity), act: make([]float64, capacity)}
+}
+
+func (r *scoreRing) push(pred, act float64) {
+	r.pred[r.next] = pred
+	r.act[r.next] = act
+	r.next = (r.next + 1) % len(r.pred)
+	if r.n < len(r.pred) {
+		r.n++
+	}
+}
+
+// series returns the live (pred, act) slices in ring order (order is
+// irrelevant to the statistics computed on them).
+func (r *scoreRing) series() (pred, act []float64) {
+	return r.pred[:r.n], r.act[:r.n]
+}
+
+// Scoreboard accumulates shadow scores per (model kind, workload category)
+// and applies a PromotionPolicy. Safe for concurrent use.
+type Scoreboard struct {
+	mu         sync.Mutex
+	policy     PromotionPolicy
+	rings      map[string][]*scoreRing // kind → per-category ring
+	streak     map[string]int
+	cooldown   int
+	promotions int64
+}
+
+// NewScoreboard builds a scoreboard with the given policy (zero fields take
+// defaults).
+func NewScoreboard(policy PromotionPolicy) *Scoreboard {
+	return &Scoreboard{
+		policy: policy.withDefaults(),
+		rings:  map[string][]*scoreRing{},
+		streak: map[string]int{},
+	}
+}
+
+// Policy returns the effective (default-filled) policy.
+func (b *Scoreboard) Policy() PromotionPolicy { return b.policy }
+
+// Record scores one observation for one model kind: the predicted and
+// actual elapsed time, bucketed by the actual category. The observation's
+// category comes from the measured runtime so champion and challengers are
+// bucketed identically.
+func (b *Scoreboard) Record(kind string, cat workload.Category, predElapsed, actElapsed float64) {
+	if cat < 0 || int(cat) >= workload.NumCategories {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rs := b.rings[kind]
+	if rs == nil {
+		rs = make([]*scoreRing, workload.NumCategories)
+		for i := range rs {
+			rs[i] = newScoreRing(b.policy.Window)
+		}
+		b.rings[kind] = rs
+	}
+	rs[cat].push(predElapsed, actElapsed)
+}
+
+// Promotions returns how many promotions this scoreboard has issued.
+func (b *Scoreboard) Promotions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.promotions
+}
+
+// Tick runs one promotion decision against the current champion kind and
+// returns the challenger to promote, if any. Call it once per scored
+// observation (ticks are the policy's clock).
+func (b *Scoreboard) Tick(champion string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cooldown > 0 {
+		b.cooldown--
+		return "", false
+	}
+	champ := b.rings[champion]
+	type candidate struct {
+		kind string
+		mean float64
+	}
+	var ready []candidate
+	// Deterministic iteration: sorted kinds, so equal scoreboards always
+	// make the same decision.
+	kinds := make([]string, 0, len(b.rings))
+	for k := range b.rings {
+		if k != champion {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		mean, dominant := b.dominates(b.rings[kind], champ)
+		if !dominant {
+			b.streak[kind] = 0
+			continue
+		}
+		b.streak[kind]++
+		if b.streak[kind] >= b.policy.Hysteresis {
+			ready = append(ready, candidate{kind, mean})
+		}
+	}
+	if len(ready) == 0 {
+		return "", false
+	}
+	best := ready[0]
+	for _, c := range ready[1:] {
+		if c.mean < best.mean {
+			best = c
+		}
+	}
+	b.promotions++
+	b.cooldown = b.policy.Cooldown
+	for k := range b.streak {
+		b.streak[k] = 0
+	}
+	return best.kind, true
+}
+
+// dominates reports whether the challenger beats the champion by the margin
+// in every comparable category, and returns the challenger's overall mean
+// relative error across comparable categories (for tie-breaking).
+func (b *Scoreboard) dominates(chal, champ []*scoreRing) (mean float64, ok bool) {
+	if chal == nil || champ == nil {
+		return 0, false
+	}
+	comparable := 0
+	var sum float64
+	var n int
+	for c := 0; c < workload.NumCategories; c++ {
+		if chal[c].n < b.policy.MinSamples || champ[c].n < b.policy.MinSamples {
+			continue
+		}
+		comparable++
+		cp, ca := chal[c].series()
+		chalErr := eval.MeanRelativeError(cp, ca)
+		pp, pa := champ[c].series()
+		champErr := eval.MeanRelativeError(pp, pa)
+		if !(chalErr <= (1-b.policy.Margin)*champErr) {
+			return 0, false
+		}
+		sum += chalErr * float64(chal[c].n)
+		n += chal[c].n
+	}
+	if comparable == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// KindScore is one model kind's shadow-scoring summary.
+type KindScore struct {
+	Kind       string
+	Streak     int
+	Categories []CategoryScore
+}
+
+// CategoryScore is one (kind, category) cell: windowed sample count, mean
+// relative error on elapsed time, and the paper's within-20% rate.
+type CategoryScore struct {
+	Category   workload.Category
+	Samples    int
+	MeanRelErr float64
+	Within20   float64
+}
+
+// Snapshot returns the current per-kind, per-category scores, sorted by
+// kind. Categories with no samples are omitted.
+func (b *Scoreboard) Snapshot() []KindScore {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kinds := make([]string, 0, len(b.rings))
+	for k := range b.rings {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]KindScore, 0, len(kinds))
+	for _, kind := range kinds {
+		ks := KindScore{Kind: kind, Streak: b.streak[kind]}
+		for c := 0; c < workload.NumCategories; c++ {
+			r := b.rings[kind][c]
+			if r.n == 0 {
+				continue
+			}
+			pred, act := r.series()
+			ks.Categories = append(ks.Categories, CategoryScore{
+				Category:   workload.Category(c),
+				Samples:    r.n,
+				MeanRelErr: eval.MeanRelativeError(pred, act),
+				Within20:   eval.WithinFactor(pred, act, 0.2),
+			})
+		}
+		out = append(out, ks)
+	}
+	return out
+}

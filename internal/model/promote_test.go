@@ -1,0 +1,198 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// score feeds n observations with a fixed relative error into one
+// (kind, category) cell: actual 10s, predicted 10·(1+relErr).
+func score(b *Scoreboard, kind string, cat workload.Category, relErr float64, n int) {
+	for i := 0; i < n; i++ {
+		b.Record(kind, cat, 10*(1+relErr), 10)
+	}
+}
+
+func testPolicy() PromotionPolicy {
+	return PromotionPolicy{Window: 32, MinSamples: 5, Margin: 0.05, Hysteresis: 3, Cooldown: 10}
+}
+
+// TestPromotionHysteresis: a dominant challenger is promoted only after
+// Hysteresis consecutive dominant ticks — not on the first.
+func TestPromotionHysteresis(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "champ", workload.Feather, 0.50, 8)
+	score(b, "chal", workload.Feather, 0.10, 8)
+	for tick := 1; tick <= 2; tick++ {
+		if kind, ok := b.Tick("champ"); ok {
+			t.Fatalf("tick %d: promoted %q before hysteresis threshold", tick, kind)
+		}
+	}
+	kind, ok := b.Tick("champ")
+	if !ok || kind != "chal" {
+		t.Fatalf("tick 3: got (%q, %v), want (chal, true)", kind, ok)
+	}
+	if b.Promotions() != 1 {
+		t.Fatalf("promotions %d, want 1", b.Promotions())
+	}
+}
+
+// TestPromotionStreakResets: an interrupted dominance streak starts over —
+// two dominant ticks, one non-dominant, then two more must not promote with
+// hysteresis 3.
+func TestPromotionStreakResets(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "champ", workload.Feather, 0.50, 8)
+	score(b, "chal", workload.Feather, 0.10, 8)
+	b.Tick("champ")
+	b.Tick("champ") // streak 2
+	// Flood the challenger's ring with bad scores: no longer dominant.
+	score(b, "chal", workload.Feather, 0.90, 32)
+	if _, ok := b.Tick("champ"); ok {
+		t.Fatal("non-dominant challenger promoted")
+	}
+	// Dominant again: the earlier streak must not be remembered.
+	score(b, "chal", workload.Feather, 0.10, 32)
+	b.Tick("champ")
+	if kind, ok := b.Tick("champ"); ok {
+		t.Fatalf("promoted %q on a 2-tick streak after a reset", kind)
+	}
+	if kind, ok := b.Tick("champ"); !ok || kind != "chal" {
+		t.Fatalf("got (%q, %v) after rebuilt streak, want (chal, true)", kind, ok)
+	}
+}
+
+// TestPromotionCooldownPreventsFlapping: after a promotion, the loser —
+// however dominant against the new champion — cannot promote back until the
+// cooldown expires. Near-equal models therefore swap at most once per
+// cooldown period instead of flapping every tick.
+func TestPromotionCooldownPreventsFlapping(t *testing.T) {
+	p := testPolicy()
+	b := NewScoreboard(p)
+	score(b, "a", workload.Feather, 0.50, 8)
+	score(b, "b", workload.Feather, 0.10, 8)
+	for i := 0; i < p.Hysteresis; i++ {
+		b.Tick("a")
+	}
+	if b.Promotions() != 1 {
+		t.Fatalf("promotions %d, want 1 (b promoted)", b.Promotions())
+	}
+	// Roles reverse: "a" now dominates the new champion "b" on every tick.
+	score(b, "a", workload.Feather, 0.01, 32)
+	score(b, "b", workload.Feather, 0.60, 32)
+	for i := 0; i < p.Cooldown; i++ {
+		if kind, ok := b.Tick("b"); ok {
+			t.Fatalf("cooldown tick %d: promoted %q", i, kind)
+		}
+	}
+	// Cooldown spent; hysteresis still applies before the swap back.
+	for i := 0; i < p.Hysteresis-1; i++ {
+		if kind, ok := b.Tick("b"); ok {
+			t.Fatalf("post-cooldown tick %d: promoted %q before hysteresis", i, kind)
+		}
+	}
+	if kind, ok := b.Tick("b"); !ok || kind != "a" {
+		t.Fatalf("got (%q, %v), want (a, true)", kind, ok)
+	}
+	if b.Promotions() != 2 {
+		t.Fatalf("promotions %d, want 2", b.Promotions())
+	}
+}
+
+// TestChallengerWorseEverywhereNeverPromotes: a challenger that is worse in
+// every comparable category never accumulates a streak, however many ticks
+// pass.
+func TestChallengerWorseEverywhereNeverPromotes(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	for _, cat := range []workload.Category{workload.Feather, workload.GolfBall} {
+		score(b, "champ", cat, 0.10, 8)
+		score(b, "chal", cat, 0.50, 8)
+	}
+	for i := 0; i < 500; i++ {
+		if kind, ok := b.Tick("champ"); ok {
+			t.Fatalf("tick %d: promoted worse-everywhere challenger %q", i, kind)
+		}
+	}
+	if b.Promotions() != 0 {
+		t.Fatalf("promotions %d, want 0", b.Promotions())
+	}
+}
+
+// TestMixedCategoriesBlockPromotion: dominance must hold in EVERY
+// comparable category — much better in one but worse in another blocks.
+func TestMixedCategoriesBlockPromotion(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "champ", workload.Feather, 0.40, 8)
+	score(b, "chal", workload.Feather, 0.05, 8) // far better here
+	score(b, "champ", workload.GolfBall, 0.10, 8)
+	score(b, "chal", workload.GolfBall, 0.30, 8) // worse here
+	for i := 0; i < 50; i++ {
+		if kind, ok := b.Tick("champ"); ok {
+			t.Fatalf("promoted %q despite a worse category", kind)
+		}
+	}
+}
+
+// TestInsufficientSamplesBlockPromotion: below the MinSamples floor no
+// category is comparable, so nothing promotes no matter the scores.
+func TestInsufficientSamplesBlockPromotion(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "champ", workload.Feather, 0.50, 4) // floor is 5
+	score(b, "chal", workload.Feather, 0.01, 4)
+	for i := 0; i < 50; i++ {
+		if kind, ok := b.Tick("champ"); ok {
+			t.Fatalf("promoted %q on insufficient samples", kind)
+		}
+	}
+}
+
+// TestMarginBlocksMarginalImprovement: a challenger inside the margin (2%
+// better with a 5% margin) must not promote.
+func TestMarginBlocksMarginalImprovement(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "champ", workload.Feather, 0.100, 8)
+	score(b, "chal", workload.Feather, 0.098, 8)
+	for i := 0; i < 50; i++ {
+		if kind, ok := b.Tick("champ"); ok {
+			t.Fatalf("promoted %q on a sub-margin improvement", kind)
+		}
+	}
+}
+
+// TestBestOfMultipleChallengers: when several challengers clear hysteresis
+// on the same tick, the lowest mean relative error wins.
+func TestBestOfMultipleChallengers(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "champ", workload.Feather, 0.50, 8)
+	score(b, "better", workload.Feather, 0.20, 8)
+	score(b, "best", workload.Feather, 0.05, 8)
+	var promoted string
+	for i := 0; i < 10; i++ {
+		if kind, ok := b.Tick("champ"); ok {
+			promoted = kind
+			break
+		}
+	}
+	if promoted != "best" {
+		t.Fatalf("promoted %q, want best", promoted)
+	}
+}
+
+// TestSnapshotShape: the snapshot lists kinds sorted, omits empty
+// categories, and reports ring-windowed sample counts.
+func TestSnapshotShape(t *testing.T) {
+	b := NewScoreboard(testPolicy())
+	score(b, "zeta", workload.Feather, 0.1, 3)
+	score(b, "alpha", workload.GolfBall, 0.2, 40) // overflows the 32-ring
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].Kind != "alpha" || snap[1].Kind != "zeta" {
+		t.Fatalf("snapshot kinds wrong: %+v", snap)
+	}
+	if len(snap[0].Categories) != 1 || snap[0].Categories[0].Samples != 32 {
+		t.Fatalf("alpha categories wrong: %+v", snap[0].Categories)
+	}
+	if snap[0].Categories[0].Category != workload.GolfBall {
+		t.Fatalf("alpha category %v, want golf ball", snap[0].Categories[0].Category)
+	}
+}

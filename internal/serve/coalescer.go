@@ -20,6 +20,7 @@ type batchItem struct {
 	req  core.Request
 	res  core.Result
 	gen  int64
+	kind string
 	done chan struct{}
 }
 
@@ -127,10 +128,11 @@ func (s *Server) runBatch(batch []*batchItem) {
 	for i, b := range live {
 		reqs[i] = b.req
 	}
-	results := m.pred.Predict(reqs...)
+	results := m.model.Predict(reqs...)
 	for i, b := range live {
 		b.res = results[i]
 		b.gen = m.gen
+		b.kind = m.model.Kind()
 		close(b.done)
 	}
 }

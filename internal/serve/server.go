@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/shard"
@@ -184,13 +185,13 @@ func New(cfg Config) (*Server, error) {
 	s.coalesceDone = make(chan struct{})
 	switch {
 	case cfg.Predictor != nil && cfg.BootGen > 0:
-		s.slot.restore(cfg.Predictor, cfg.BootGen)
+		s.slot.restore(model.WrapKCCA(cfg.Predictor), cfg.BootGen)
 	case cfg.Predictor != nil:
-		s.slot.swap(cfg.Predictor)
+		s.slot.swap(model.WrapKCCA(cfg.Predictor))
 	case cfg.Sliding.Ready() && cfg.BootGen > 0:
-		s.slot.restore(cfg.Sliding.Current(), cfg.BootGen)
+		s.slot.restore(model.WrapKCCA(cfg.Sliding.Current()), cfg.BootGen)
 	case cfg.Sliding.Ready():
-		s.slot.swap(cfg.Sliding.Current())
+		s.slot.swap(model.WrapKCCA(cfg.Sliding.Current()))
 	}
 	go s.coalesceLoop()
 	if s.sliding != nil {
@@ -410,6 +411,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			results[i].Category = it.res.Prediction.Category.String()
 			results[i].Confidence = it.res.Prediction.Confidence
 			results[i].Generation = it.gen
+			results[i].ModelKind = it.kind
 		case <-deadline.C:
 			requestTimeouts.Inc()
 			writeError(w, api.CodeTimeout,
@@ -481,6 +483,10 @@ func (s *Server) predictSharded(w http.ResponseWriter, r *http.Request, inputs [
 			results[i].Category = out.Res.Prediction.Category.String()
 			results[i].Confidence = out.Res.Prediction.Confidence
 			results[i].Generation = out.Gen
+			// Attribute the answer to the model that actually produced it —
+			// under the cold-start fallback that is the fallback shard's
+			// kind, not the cold owner's.
+			results[i].ModelKind = out.Kind
 		}
 		if sharded {
 			results[i].Shard = strconv.Itoa(out.Shard)
@@ -607,29 +613,44 @@ func (s *Server) modelInfo() *api.ModelInfo {
 		var info *api.ModelInfo
 		trained := 0
 		var swaps, maxGen int64
+		kind, mixed := "", false
 		for i := 0; i < s.router.NumShards(); i++ {
 			m := s.router.Shard(i).Model()
 			if m == nil {
 				continue
 			}
 			if info == nil {
-				opt := m.Pred.Options()
-				info = &api.ModelInfo{Features: opt.Features.String(), TwoStep: opt.TwoStep}
+				info = &api.ModelInfo{}
 			}
-			// Index shape aggregates across shards (single-shard daemons
-			// report exactly the unsharded form, keeping the wire formats
-			// byte-identical).
-			if ii := indexInfo(m.Pred); info.Index == nil {
-				info.Index = ii
-			} else {
-				info.Index.Points += ii.Points
-				info.Index.Nodes += ii.Nodes
-				info.Index.Stragglers += ii.Stragglers
-				if ii.Kind == "kdtree" {
-					info.Index.Kind = "kdtree"
+			switch k := m.Model.Kind(); {
+			case kind == "":
+				kind = k
+			case kind != k:
+				mixed = true
+			}
+			// KCCA-specific introspection (feature space, neighbor index)
+			// reports only the shards serving that kind; other kinds have no
+			// neighbor index. Index shape aggregates across shards
+			// (single-shard daemons report exactly the unsharded form,
+			// keeping the wire formats byte-identical).
+			if pred := m.Pred(); pred != nil {
+				if info.Features == "" {
+					opt := pred.Options()
+					info.Features = opt.Features.String()
+					info.TwoStep = opt.TwoStep
+				}
+				if ii := indexInfo(pred); info.Index == nil {
+					info.Index = ii
+				} else {
+					info.Index.Points += ii.Points
+					info.Index.Nodes += ii.Nodes
+					info.Index.Stragglers += ii.Stragglers
+					if ii.Kind == "kdtree" {
+						info.Index.Kind = "kdtree"
+					}
 				}
 			}
-			trained += m.Pred.N()
+			trained += m.Model.N()
 			swaps += m.Gen - 1
 			if m.Gen > maxGen {
 				maxGen = m.Gen
@@ -637,6 +658,10 @@ func (s *Server) modelInfo() *api.ModelInfo {
 		}
 		if info == nil {
 			return nil
+		}
+		info.ModelKind = kind
+		if mixed {
+			info.ModelKind = "mixed"
 		}
 		info.Generation = maxGen
 		info.TrainedOn = trained
@@ -646,23 +671,81 @@ func (s *Server) modelInfo() *api.ModelInfo {
 			info.Shards = s.router.NumShards()
 			info.Partitioner = s.router.Partitioner().Name()
 		}
+		info.Champion, info.Challengers = s.zooInfo()
 		return info
 	}
 	m := s.slot.get()
 	if m == nil {
 		return nil
 	}
-	opt := m.pred.Options()
-	return &api.ModelInfo{
+	info := &api.ModelInfo{
 		Generation: m.gen,
-		TrainedOn:  m.pred.N(),
-		Features:   opt.Features.String(),
-		TwoStep:    opt.TwoStep,
+		TrainedOn:  m.model.N(),
+		ModelKind:  m.model.Kind(),
 		// Generation 1 is the boot model; every later generation was a swap.
 		Swaps:      m.gen - 1,
 		WindowSize: int(s.windowSize.Load()),
-		Index:      indexInfo(m.pred),
 	}
+	if pred := m.pred(); pred != nil {
+		opt := pred.Options()
+		info.Features = opt.Features.String()
+		info.TwoStep = opt.TwoStep
+		info.Index = indexInfo(pred)
+	}
+	return info
+}
+
+// zooInfo aggregates champion/challenger state across the router's shards
+// into wire form, or (nil, nil) when no shard runs a zoo. Promotions sum
+// across shards; a disagreeing champion reports "mixed"; per-kind shadow
+// scores come from the first zoo shard (per-shard detail is on /v1/shards).
+func (s *Server) zooInfo() (*api.ChampionInfo, []api.ChallengerInfo) {
+	var champ *api.ChampionInfo
+	var chals []api.ChallengerInfo
+	for i := 0; i < s.router.NumShards(); i++ {
+		zs := s.router.Shard(i).Zoo()
+		if zs == nil {
+			continue
+		}
+		c, cs := zooStatusInfo(zs)
+		if champ == nil {
+			champ, chals = c, cs
+			continue
+		}
+		champ.Promotions += zs.Promotions
+		if zs.Champion != champ.Kind {
+			champ.Kind = "mixed"
+			champ.SinceGeneration = 0
+		}
+	}
+	return champ, chals
+}
+
+// zooStatusInfo converts one shard's champion/challenger snapshot to wire
+// form.
+func zooStatusInfo(zs *shard.ZooStatus) (*api.ChampionInfo, []api.ChallengerInfo) {
+	if zs == nil {
+		return nil, nil
+	}
+	champ := &api.ChampionInfo{
+		Kind:            zs.Champion,
+		Promotions:      zs.Promotions,
+		SinceGeneration: zs.SinceGeneration,
+	}
+	chals := make([]api.ChallengerInfo, 0, len(zs.Scores))
+	for _, ks := range zs.Scores {
+		ci := api.ChallengerInfo{Kind: ks.Kind, Champion: ks.Kind == zs.Champion, Streak: ks.Streak}
+		for _, cs := range ks.Categories {
+			ci.Categories = append(ci.Categories, api.CategoryScore{
+				Category:   cs.Category.String(),
+				Samples:    cs.Samples,
+				MeanRelErr: cs.MeanRelErr,
+				Within20:   cs.Within20,
+			})
+		}
+		chals = append(chals, ci)
+	}
+	return champ, chals
 }
 
 // apiRecovery converts a store's recovery record to its wire form.
@@ -755,8 +838,10 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 			si.Ready = true
 			si.Generation = m.Gen
 			si.Swaps = m.Gen - 1
-			si.TrainedOn = m.Pred.N()
+			si.TrainedOn = m.Model.N()
+			si.ModelKind = m.Model.Kind()
 		}
+		si.Champion, si.Challengers = zooStatusInfo(sh.Zoo())
 		if ri := sh.Recovery(); ri != nil {
 			si.Recovery = apiRecovery(*ri)
 		}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exec"
+	"repro/internal/model"
 	"repro/internal/optimizer"
 	"repro/internal/sqlparse"
 	"repro/internal/workload"
@@ -288,7 +289,7 @@ func TestOverload(t *testing.T) {
 		queue:        make(chan *batchItem, 1),
 		coalesceDone: make(chan struct{}),
 	}
-	s.slot.swap(pred)
+	s.slot.swap(model.WrapKCCA(pred))
 	s.queue <- &batchItem{done: make(chan struct{})} // queue now full
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -321,7 +322,7 @@ func TestPredictTimeout(t *testing.T) {
 		queue:        make(chan *batchItem, 16),
 		coalesceDone: make(chan struct{}),
 	}
-	s.slot.swap(pred)
+	s.slot.swap(model.WrapKCCA(pred))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -5,19 +5,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/model"
 )
 
 // servedModel is one immutable model plus its generation tag. A trained
-// core.Predictor is never mutated after Train returns, so readers may use
-// it lock-free for as long as they hold the pointer; a hot swap only
-// replaces which pointer new readers pick up. The generation also scopes
-// the predictor's internal projection cache: each Predictor carries its
-// own, so swapping generations retires every cached projection of the
+// Model is never mutated after training returns, so readers may use it
+// lock-free for as long as they hold the pointer; a hot swap only replaces
+// which pointer new readers pick up. For the KCCA kind the generation also
+// scopes the predictor's internal projection cache: each Predictor carries
+// its own, so swapping generations retires every cached projection of the
 // previous model wholesale — results tagged with one generation were
 // computed against exactly that model and its cache, never a stale one.
 type servedModel struct {
-	pred *core.Predictor
-	gen  int64
+	model model.Model
+	gen   int64
+}
+
+// pred returns the underlying core predictor for the KCCA kind, or nil for
+// any other kind (KCCA-specific introspection only).
+func (m *servedModel) pred() *core.Predictor {
+	if k, ok := m.model.(*model.KCCA); ok {
+		return k.Predictor()
+	}
+	return nil
 }
 
 // slot is the atomically hot-swappable model holder: reads are a single
@@ -33,18 +43,18 @@ func (s *slot) get() *servedModel { return s.cur.Load() }
 
 // swap publishes a new model and returns its generation (1 for the boot
 // model).
-func (s *slot) swap(p *core.Predictor) int64 {
+func (s *slot) swap(m model.Model) int64 {
 	gen := s.gens.Add(1)
-	s.cur.Store(&servedModel{pred: p, gen: gen})
+	s.cur.Store(&servedModel{model: m, gen: gen})
 	return gen
 }
 
 // restore publishes a model recovered from durable state at the generation
 // it held before the restart, so generations keep moving forward across
 // process lifetimes (the next swap publishes gen+1).
-func (s *slot) restore(p *core.Predictor, gen int64) {
+func (s *slot) restore(m model.Model, gen int64) {
 	s.gens.Store(gen)
-	s.cur.Store(&servedModel{pred: p, gen: gen})
+	s.cur.Store(&servedModel{model: m, gen: gen})
 }
 
 // observeLoop is the single goroutine driving the SlidingPredictor.
@@ -78,7 +88,7 @@ func (s *Server) observeLoop() {
 		}
 		s.windowSize.Store(int64(s.sliding.WindowSize()))
 		if s.sliding.Retrains() != before {
-			s.slot.swap(s.sliding.Current())
+			s.slot.swap(model.WrapKCCA(s.sliding.Current()))
 			modelSwaps.Inc()
 		}
 		if s.store != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/wal"
 )
@@ -22,8 +23,15 @@ var (
 // ShardConfig describes one shard at construction time.
 type ShardConfig struct {
 	// Boot, when non-nil, is published as the shard's generation 1 so the
-	// shard serves immediately.
+	// shard serves immediately — the KCCA shorthand for BootModel (wrapped
+	// automatically). Ignored when BootModel is set.
 	Boot *core.Predictor
+	// BootModel, when non-nil, is the boot model of any kind.
+	BootModel model.Model
+	// Zoo, when non-nil, enables champion/challenger operation: shadow
+	// scoring of every configured kind on the observe path and automatic
+	// promotion through the generation slot.
+	Zoo *ZooConfig
 	// Sliding, when non-nil, enables observation feedback and background
 	// retrains; the shard's observe goroutine takes sole ownership of it.
 	Sliding *core.SlidingPredictor
@@ -66,10 +74,14 @@ func NewRouter(shards []ShardConfig, part Partitioner, cfg Config, warmFallback 
 	cfg.fill()
 	r := &Router{part: part, warmFallback: warmFallback}
 	for i, sc := range shards {
-		if sc.Boot == nil && sc.Sliding == nil {
-			return nil, fmt.Errorf("shard: shard %d needs a boot predictor or a sliding window", i)
+		if sc.Boot == nil && sc.BootModel == nil && sc.Sliding == nil && sc.Zoo == nil {
+			return nil, fmt.Errorf("shard: shard %d needs a boot model or a sliding window", i)
 		}
-		r.shards = append(r.shards, newShard(i, sc, cfg))
+		s, err := newShard(i, sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, s)
 	}
 	return r, nil
 }
@@ -161,7 +173,10 @@ type Outcome struct {
 	// Served is the shard that actually answered — equal to Shard except
 	// when the cold-start fallback rerouted the request to a warm shard.
 	Served int
-	Err    error
+	// Kind is the model kind that answered, so fallback answers are
+	// attributed to the model family that actually produced them.
+	Kind string
+	Err  error
 }
 
 // Predict routes each planned query to its shard, fans the batch out, and
@@ -197,6 +212,7 @@ func (r *Router) Predict(ctx context.Context, qs []*dataset.Query) []Outcome {
 		case <-it.Done:
 			outs[i].Res = it.Res
 			outs[i].Gen = it.Gen
+			outs[i].Kind = it.Kind
 		case <-ctx.Done():
 			outs[i].Err = ctx.Err()
 		}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/wal"
 )
@@ -62,11 +63,15 @@ var (
 // error and skipped, so abandoned requests never consume predict work and a
 // stalled shard's queue drains in O(queue) once it resumes.
 type Item struct {
-	Ctx  context.Context
-	Req  core.Request
-	Res  core.Result
-	Gen  int64
-	Sh   int
+	Ctx context.Context
+	Req core.Request
+	Res core.Result
+	Gen int64
+	Sh  int
+	// Kind is the model kind that answered (filled with Res/Gen), so
+	// responses attribute every prediction — including cold-start fallback
+	// answers — to the model family that produced it.
+	Kind string
 	Done chan struct{}
 }
 
@@ -104,6 +109,9 @@ type Shard struct {
 
 	slot    Slot
 	sliding *core.SlidingPredictor
+	// zoo, when non-nil, runs champion/challenger shadow evaluation on the
+	// observe path and promotes challengers through the slot.
+	zoo *zoo
 	// store, when non-nil, is the shard's durable state: the observe loop
 	// WAL-logs each observation before applying it and snapshots the
 	// sliding state periodically and at drain. Owned by the observe
@@ -138,11 +146,12 @@ type Shard struct {
 	batchHook func()
 }
 
-// newShard wires one shard. sc.Boot (optional) is published as generation
-// 1; sc.Sliding (optional) enables observation feedback and background
-// retrains. With a store and a positive BootGen the recovered model is
-// published at the generation it held before the restart.
-func newShard(id int, sc ShardConfig, cfg Config) *Shard {
+// newShard wires one shard. sc.BootModel (or sc.Boot, the KCCA shorthand)
+// is published as generation 1; sc.Sliding (optional) enables observation
+// feedback and background retrains. With a store and a positive BootGen the
+// recovered model is published at the generation it held before the
+// restart. sc.Zoo enables champion/challenger operation.
+func newShard(id int, sc ShardConfig, cfg Config) (*Shard, error) {
 	s := &Shard{
 		ID:           id,
 		cfg:          cfg,
@@ -155,15 +164,35 @@ func newShard(id int, sc ShardConfig, cfg Config) *Shard {
 		mPredicts:    obs.GetCounter(fmt.Sprintf("serve.shard.%d.predictions", id)),
 		mObserved:    obs.GetCounter(fmt.Sprintf("serve.shard.%d.observed", id)),
 	}
+	boot := sc.BootModel
+	if boot == nil && sc.Boot != nil {
+		boot = model.WrapKCCA(sc.Boot)
+	}
+	if boot == nil && sc.Sliding != nil && sc.Sliding.Ready() {
+		boot = model.WrapKCCA(sc.Sliding.Current())
+	}
+	if sc.Zoo != nil {
+		var err error
+		s.zoo, boot, err = buildZoo(&sc, boot)
+		if err != nil {
+			return nil, err
+		}
+		// A non-KCCA champion with no seed and a warm window trains at
+		// boot so the shard serves immediately; failure leaves the shard
+		// cold until the first retrain fills the zoo.
+		if boot == nil && sc.Sliding != nil && sc.Sliding.WindowSize() > 0 {
+			s.zoo.onRetrain(sc.Sliding.Current(), sc.Sliding.Window())
+			boot = s.zoo.championModel()
+		}
+	}
 	switch {
-	case sc.Boot != nil && sc.BootGen > 0:
-		s.slot.Restore(sc.Boot, sc.BootGen)
-	case sc.Boot != nil:
-		s.slot.Swap(sc.Boot)
-	case sc.Sliding != nil && sc.Sliding.Ready() && sc.BootGen > 0:
-		s.slot.Restore(sc.Sliding.Current(), sc.BootGen)
-	case sc.Sliding != nil && sc.Sliding.Ready():
-		s.slot.Swap(sc.Sliding.Current())
+	case boot != nil && sc.BootGen > 0:
+		s.slot.Restore(boot, sc.BootGen)
+	case boot != nil:
+		s.slot.Swap(boot)
+	}
+	if s.zoo != nil {
+		s.zoo.sinceGen.Store(s.generation())
 	}
 	go s.coalesceLoop()
 	if s.sliding != nil {
@@ -173,7 +202,7 @@ func newShard(id int, sc ShardConfig, cfg Config) *Shard {
 		s.mWindow.Set(s.windowSize.Load())
 		go s.observeLoop()
 	}
-	return s
+	return s, nil
 }
 
 // Ready reports whether this shard serves a model.
@@ -249,9 +278,11 @@ func (s *Shard) Observe(q *dataset.Query) error {
 // is single-owner.
 func (s *Shard) observeSync(q *dataset.Query) error {
 	seq := s.logObservation(q)
+	s.shadowScore(q)
 	before := s.sliding.Retrains()
 	err := s.sliding.Observe(q)
 	s.afterObserve(before, err)
+	s.maybePromote()
 	s.persistApplied(seq)
 	return err
 }
@@ -300,7 +331,18 @@ func (s *Shard) afterObserve(retrainsBefore int, err error) {
 	s.nObserved.Add(1)
 	s.mObserved.Inc()
 	if s.sliding.Retrains() != retrainsBefore {
-		s.slot.Swap(s.sliding.Current())
+		cur := s.sliding.Current()
+		var m model.Model
+		if s.zoo != nil {
+			// Refresh every zoo kind from the new window, then publish
+			// whichever kind is champion right now.
+			s.zoo.onRetrain(cur, s.sliding.Window())
+			m = s.zoo.championModel()
+		}
+		if m == nil {
+			m = model.WrapKCCA(cur)
+		}
+		s.slot.Swap(m)
 		s.mSwaps.Inc()
 		modelSwaps.Inc()
 	}
@@ -314,9 +356,13 @@ func (s *Shard) observeLoop() {
 	defer close(s.observeDone)
 	for q := range s.observeCh {
 		seq := s.logObservation(q)
+		// Shadow-score before the window sees the query: every model is
+		// evaluated on data it has never trained on.
+		s.shadowScore(q)
 		before := s.sliding.Retrains()
 		err := s.sliding.Observe(q)
 		s.afterObserve(before, err)
+		s.maybePromote()
 		s.persistApplied(seq)
 	}
 }
@@ -405,12 +451,13 @@ func (s *Shard) runBatch(batch []*Item) {
 	for i, b := range live {
 		reqs[i] = b.Req
 	}
-	results := m.Pred.Predict(reqs...)
+	results := m.Model.Predict(reqs...)
 	s.nPredicts.Add(int64(len(live)))
 	s.mPredicts.Add(int64(len(live)))
 	for i, b := range live {
 		b.Res = results[i]
 		b.Gen = m.Gen
+		b.Kind = m.Model.Kind()
 		close(b.Done)
 	}
 }

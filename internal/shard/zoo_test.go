@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// zooPlanFunc re-plans SQL with the fixture's schema and data seed, the
+// way the serving layer does for WAL replay.
+func zooPlanFunc() core.PlanFunc {
+	schema := catalog.TPCDS(1)
+	cfg := optimizer.DefaultConfig(exec.Research4().Processors)
+	return func(sql string) (*dataset.Query, error) {
+		ast, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := optimizer.BuildPlan(ast, schema, 77, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &dataset.Query{SQL: sql, AST: ast, Plan: plan}, nil
+	}
+}
+
+// zooTestPolicy keeps promotion decisions fast enough for a unit test while
+// still exercising hysteresis and cooldown.
+func zooTestPolicy() model.PromotionPolicy {
+	return model.PromotionPolicy{Window: 64, MinSamples: 5, Margin: 0.05, Hysteresis: 3, Cooldown: 10}
+}
+
+// seedModels trains one model per kind on the fixture's training slice.
+func seedModels(t *testing.T, pool *dataset.Dataset, pred *core.Predictor) map[string]model.Model {
+	t.Helper()
+	oc, err := (model.OptCostTrainer{}).Train(pool.Queries[:120])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]model.Model{
+		model.KindKCCA:    model.WrapKCCA(pred),
+		model.KindOptCost: oc,
+	}
+}
+
+// observe feeds one executed pool query through the synchronous observe
+// path (shadow scoring, window, retrains, and promotion all inline).
+func observe(t *testing.T, r *Router, q *dataset.Query) {
+	t.Helper()
+	q.Category = workload.Categorize(q.Metrics.ElapsedSec)
+	if _, err := r.ObserveSync(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZooPromotionEndToEnd drives the full champion/challenger loop: a
+// weak optimizer-cost champion seeded next to a strong KCCA challenger,
+// real observations streaming through the observe path, and the KCCA
+// challenger promoted through the ordinary generation hot-swap — after
+// which the served predictions are bit-identical to the promoted model's
+// own output.
+func TestZooPromotionEndToEnd(t *testing.T) {
+	pool, pred := fixture(t)
+	cfgs := []ShardConfig{{
+		Sliding: newSliding(t, 40, 10),
+		Zoo: &ZooConfig{
+			Champion:    model.KindOptCost,
+			Challengers: []string{model.KindKCCA},
+			Seeds:       seedModels(t, pool, pred),
+			Policy:      zooTestPolicy(),
+			Opt:         core.DefaultOptions(),
+		},
+	}}
+	part := funcPartitioner{n: "zero", f: func(*dataset.Query) (int, error) { return 0, nil }}
+	r, err := NewRouter(cfgs, part, Config{MaxBatch: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	sh := r.Shard(0)
+	if got := sh.ChampionKind(); got != model.KindOptCost {
+		t.Fatalf("boot champion %q, want optcost", got)
+	}
+	if m := sh.Model(); m == nil || m.Model.Kind() != model.KindOptCost {
+		t.Fatal("boot slot is not serving the optcost champion seed")
+	}
+	bootGen := sh.Model().Gen
+
+	// The KCCA seed has seen the training slice; the observations replay it,
+	// so the challenger's shadow error is far below the cost regression's
+	// and dominance accumulates within a few ticks of the sample floor.
+	promoted := false
+	for i, q := range pool.Queries[:120] {
+		observe(t, r, q)
+		if sh.ChampionKind() == model.KindKCCA {
+			promoted = true
+			t.Logf("promoted after %d observations", i+1)
+			break
+		}
+	}
+	if !promoted {
+		t.Fatal("KCCA challenger was never promoted over the optcost champion")
+	}
+
+	zs := sh.Zoo()
+	if zs == nil || zs.Champion != model.KindKCCA {
+		t.Fatalf("zoo status %+v, want champion kcca", zs)
+	}
+	if zs.Promotions < 1 {
+		t.Fatalf("promotions %d, want >= 1", zs.Promotions)
+	}
+	served := sh.Model()
+	if served.Gen <= bootGen {
+		t.Fatalf("promotion did not advance the generation: %d <= %d", served.Gen, bootGen)
+	}
+	if zs.SinceGeneration == 0 || zs.SinceGeneration > served.Gen {
+		t.Fatalf("champion since-generation %d inconsistent with served generation %d",
+			zs.SinceGeneration, served.Gen)
+	}
+	if served.Model.Kind() != model.KindKCCA {
+		t.Fatalf("slot serves %q after promotion, want kcca", served.Model.Kind())
+	}
+
+	// Served predictions must be bit-identical to the promoted model's own
+	// output — promotion swaps the model, nothing else.
+	test := pool.Queries[120:140]
+	outs := r.Predict(context.Background(), test)
+	reqs := make([]core.Request, len(test))
+	for i, q := range test {
+		reqs[i] = core.Request{Query: q}
+	}
+	direct := served.Model.Predict(reqs...)
+	for i, out := range outs {
+		if out.Err != nil || out.Res.Err != nil {
+			t.Fatalf("query %d: %v / %v", i, out.Err, out.Res.Err)
+		}
+		if out.Kind != model.KindKCCA {
+			t.Fatalf("query %d served by %q, want kcca", i, out.Kind)
+		}
+		if out.Res.Prediction.Metrics != direct[i].Prediction.Metrics {
+			t.Fatalf("query %d: served prediction differs from the promoted model's direct output", i)
+		}
+	}
+}
+
+// TestZooChampionPersistence: a promotion durably records the new champion
+// kind next to the WAL, and a fresh daemon reads it back.
+func TestZooChampionPersistence(t *testing.T) {
+	pool, pred := fixture(t)
+	dir := t.TempDir()
+	st, err := wal.OpenStore(wal.StoreOptions{Dir: dir, Policy: wal.SyncNone, Plan: zooPlanFunc()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []ShardConfig{{
+		Sliding: newSliding(t, 40, 10),
+		Store:   st,
+		Zoo: &ZooConfig{
+			Champion:    model.KindOptCost,
+			Challengers: []string{model.KindKCCA},
+			Seeds:       seedModels(t, pool, pred),
+			Policy:      zooTestPolicy(),
+			Opt:         core.DefaultOptions(),
+		},
+	}}
+	part := funcPartitioner{n: "zero", f: func(*dataset.Query) (int, error) { return 0, nil }}
+	r, err := NewRouter(cfgs, part, Config{MaxBatch: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := r.Shard(0)
+	for _, q := range pool.Queries[:120] {
+		observe(t, r, q)
+		if sh.ChampionKind() == model.KindKCCA {
+			break
+		}
+	}
+	if sh.ChampionKind() != model.KindKCCA {
+		r.Close()
+		t.Fatal("challenger was never promoted")
+	}
+	r.Close() // drains and closes the store
+	if got := wal.ReadChampionKind(dir); got != model.KindKCCA {
+		t.Fatalf("persisted champion %q, want kcca", got)
+	}
+}
+
+// TestZooOffEquivalence: configuring the zoo (with the same champion that
+// would serve anyway) must not perturb a single served byte — shadow
+// scoring rides the observe path, never the predict path.
+func TestZooOffEquivalence(t *testing.T) {
+	pool, pred := fixture(t)
+	part := funcPartitioner{n: "zero", f: func(*dataset.Query) (int, error) { return 0, nil }}
+
+	plain, err := NewRouter([]ShardConfig{{Boot: pred}}, part, Config{MaxBatch: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	zoo, err := NewRouter([]ShardConfig{{
+		Zoo: &ZooConfig{
+			Champion:    model.KindKCCA,
+			Challengers: []string{model.KindOptCost},
+			Seeds:       seedModels(t, pool, pred),
+			Policy:      zooTestPolicy(),
+			Opt:         core.DefaultOptions(),
+		},
+	}}, part, Config{MaxBatch: 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zoo.Close()
+
+	test := pool.Queries[120:150]
+	a := plain.Predict(context.Background(), test)
+	b := zoo.Predict(context.Background(), test)
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("query %d: %v / %v", i, a[i].Err, b[i].Err)
+		}
+		if a[i].Res.Prediction.Metrics != b[i].Res.Prediction.Metrics {
+			t.Fatalf("query %d: zoo-enabled shard serves different bytes", i)
+		}
+		if a[i].Kind != model.KindKCCA || b[i].Kind != model.KindKCCA {
+			t.Fatalf("query %d: kinds %q/%q, want kcca", i, a[i].Kind, b[i].Kind)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package qpredict
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "config.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDefaultValidates(t *testing.T) {
+	opts := Default()
+	if err := opts.Validate(); err != nil {
+		t.Fatalf("defaults do not validate: %v", err)
+	}
+	if opts.Champion.Enabled() {
+		t.Fatal("zoo enabled by default (no challengers configured)")
+	}
+	if got, want := opts.Champion.Policy(), model.DefaultPromotionPolicy(); got != want {
+		t.Fatalf("default champion policy %+v != model default %+v", got, want)
+	}
+}
+
+func TestLoadFilePartialOverridesDefaults(t *testing.T) {
+	path := writeConfig(t, `{
+		"serve": {"addr": ":9090", "window": "5ms"},
+		"champion": {"challengers": ["optcost"]}
+	}`)
+	opts, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Serve.Addr != ":9090" || opts.Serve.Window.Std() != 5*time.Millisecond {
+		t.Fatalf("serve overrides lost: %+v", opts.Serve)
+	}
+	// Untouched sections keep their defaults.
+	if opts.Serve.MaxBatch != 64 || opts.Train.Count != 800 || opts.Sliding.Capacity != 500 {
+		t.Fatalf("defaults perturbed: %+v", opts)
+	}
+	if !opts.Champion.Enabled() || opts.Champion.Kind != model.KindKCCA {
+		t.Fatalf("champion config wrong: %+v", opts.Champion)
+	}
+}
+
+func TestLoadFileRejectsUnknownFields(t *testing.T) {
+	path := writeConfig(t, `{"serve": {"adress": ":9090"}}`)
+	if _, err := LoadFile(path); err == nil || !strings.Contains(err.Error(), "adress") {
+		t.Fatalf("typoed field accepted: %v", err)
+	}
+}
+
+func TestLoadFileRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"zero max_batch":      `{"serve": {"max_batch": -1}}`,
+		"tiny window":         `{"sliding": {"capacity": 3}}`,
+		"bad partitioner":     `{"shards": {"partitioner": "roundrobin"}}`,
+		"bad fsync":           `{"state": {"fsync": "sometimes"}}`,
+		"unknown champion":    `{"champion": {"kind": "xgboost"}}`,
+		"unknown challenger":  `{"champion": {"challengers": ["xgboost"]}}`,
+		"margin out of range": `{"champion": {"margin": 1.5}}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadFile(writeConfig(t, body)); err == nil {
+				t.Fatalf("invalid config accepted: %s", body)
+			}
+		})
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"250ms"`), &d); err != nil || d.Std() != 250*time.Millisecond {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`2000000`), &d); err != nil || d.Std() != 2*time.Millisecond {
+		t.Fatalf("nanosecond form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"fast"`), &d); err == nil {
+		t.Fatal("garbage duration accepted")
+	}
+	if err := json.Unmarshal([]byte(`true`), &d); err == nil {
+		t.Fatal("bool duration accepted")
+	}
+	b, err := json.Marshal(Duration(3 * time.Second))
+	if err != nil || string(b) != `"3s"` {
+		t.Fatalf("marshal: %s %v", b, err)
+	}
+}
+
+// TestExampleConfigLoads keeps the shipped example config valid.
+func TestExampleConfigLoads(t *testing.T) {
+	opts, err := LoadFile(filepath.Join("..", "..", "examples", "config", "qpredictd.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Champion.Enabled() || len(opts.Champion.Challengers) != 2 {
+		t.Fatalf("example config champion section drifted: %+v", opts.Champion)
+	}
+}
+
+// TestRoundTrip: Default marshals to JSON that loads back to itself — the
+// documented way to produce a starting config file.
+func TestRoundTrip(t *testing.T) {
+	opts := Default()
+	b, err := json.MarshalIndent(opts, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(writeConfig(t, string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := json.Marshal(loaded)
+	ob, _ := json.Marshal(opts)
+	if string(lb) != string(ob) {
+		t.Fatalf("round trip drifted:\n%s\n%s", ob, lb)
+	}
+}

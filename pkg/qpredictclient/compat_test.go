@@ -1,0 +1,147 @@
+package qpredictclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// Wire-format compatibility: the client must decode both pre-zoo daemons
+// (no model_kind, no champion/challenger blocks) and current ones. The
+// fixtures below are captured response bodies, not round-tripped structs —
+// they pin the actual bytes an old daemon sends.
+
+// preZooModelJSON is a /v1/model body from a daemon predating the model
+// zoo: no model_kind, champion, or challengers keys.
+const preZooModelJSON = `{
+  "version": "v1",
+  "model": {
+    "generation": 3,
+    "trained_on": 500,
+    "features": "plan+text",
+    "two_step": true,
+    "swaps": 2,
+    "window_size": 480,
+    "index": {"kind": "kdtree", "metric": "elapsed_time", "points": 500, "nodes": 999, "min_points": 64}
+  }
+}`
+
+// preZooPredictJSON is a /v1/predict body from the same era: results carry
+// no model_kind.
+const preZooPredictJSON = `{
+  "version": "v1",
+  "model": {"generation": 3, "trained_on": 500, "features": "plan+text", "two_step": true, "swaps": 2},
+  "results": [
+    {"sql": "SELECT 1", "metrics": {"elapsed_time": 1.5, "records_accessed": 10, "records_used": 5, "disk_ios": 2, "message_count": 0, "message_bytes": 0}, "category": "feather", "confidence": 0.9, "generation": 3}
+  ]
+}`
+
+// zooModelJSON is a current /v1/model body with the zoo blocks populated.
+const zooModelJSON = `{
+  "version": "v1",
+  "model": {
+    "generation": 7,
+    "trained_on": 500,
+    "features": "plan+text",
+    "two_step": true,
+    "swaps": 6,
+    "model_kind": "kcca",
+    "champion": {"kind": "kcca", "promotions": 1, "since_generation": 5},
+    "challengers": [
+      {"kind": "kcca", "champion": true},
+      {"kind": "optcost", "streak": 2, "categories": [
+        {"category": "feather", "samples": 40, "mean_rel_err": 0.31, "within_20": 0.4}
+      ]}
+    ]
+  }
+}`
+
+func serveBody(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestDecodePreZooModel(t *testing.T) {
+	ts := serveBody(t, preZooModelJSON)
+	info, err := New(ts.URL, fastOpts()).Model(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 3 || info.TrainedOn != 500 || !info.TwoStep {
+		t.Fatalf("core fields lost decoding a pre-zoo body: %+v", info)
+	}
+	if info.ModelKind != "" || info.Champion != nil || info.Challengers != nil {
+		t.Fatalf("zoo fields invented from a pre-zoo body: %+v", info)
+	}
+	if info.Index == nil || info.Index.Points != 500 {
+		t.Fatalf("index info lost: %+v", info.Index)
+	}
+}
+
+func TestDecodePreZooPredict(t *testing.T) {
+	ts := serveBody(t, preZooPredictJSON)
+	res, err := New(ts.URL, fastOpts()).PredictOne(context.Background(), "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil || res.Metrics.ElapsedSec != 1.5 || res.Category != "feather" {
+		t.Fatalf("core fields lost decoding a pre-zoo result: %+v", res)
+	}
+	if res.ModelKind != "" {
+		t.Fatalf("model_kind invented from a pre-zoo result: %q", res.ModelKind)
+	}
+}
+
+func TestDecodeZooModel(t *testing.T) {
+	ts := serveBody(t, zooModelJSON)
+	info, err := New(ts.URL, fastOpts()).Model(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ModelKind != "kcca" {
+		t.Fatalf("model_kind %q, want kcca", info.ModelKind)
+	}
+	ch := info.Champion
+	if ch == nil || ch.Kind != "kcca" || ch.Promotions != 1 || ch.SinceGeneration != 5 {
+		t.Fatalf("champion block wrong: %+v", ch)
+	}
+	if len(info.Challengers) != 2 {
+		t.Fatalf("challengers %+v, want 2", info.Challengers)
+	}
+	if !info.Challengers[0].Champion || info.Challengers[0].Kind != "kcca" {
+		t.Fatalf("champion row wrong: %+v", info.Challengers[0])
+	}
+	oc := info.Challengers[1]
+	if oc.Kind != "optcost" || oc.Streak != 2 || len(oc.Categories) != 1 {
+		t.Fatalf("challenger row wrong: %+v", oc)
+	}
+	cs := oc.Categories[0]
+	if cs.Category != "feather" || cs.Samples != 40 || cs.MeanRelErr != 0.31 || cs.Within20 != 0.4 {
+		t.Fatalf("category score wrong: %+v", cs)
+	}
+}
+
+// TestZooFieldsOmittedWhenEmpty: a server encoding a zoo-less ModelInfo
+// with the current structs emits no zoo keys — old clients parsing with
+// strict schemas keep working.
+func TestZooFieldsOmittedWhenEmpty(t *testing.T) {
+	b, err := json.Marshal(api.ModelInfo{Generation: 1, TrainedOn: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"model_kind", "champion", "challengers"} {
+		if bytes.Contains(b, []byte(`"`+key+`"`)) {
+			t.Fatalf("empty zoo field %q serialized: %s", key, b)
+		}
+	}
+}
