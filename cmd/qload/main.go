@@ -1,0 +1,438 @@
+// qload is a sustained-load generator for the qpredictd daemon: it drives
+// mixed predict/observe traffic through pkg/qpredictclient at controlled
+// arrival rates (open loop) or fixed concurrency (closed loop), measures
+// past a warmup window, and reports throughput plus a latency distribution
+// (p50/p95/p99/p99.9) per stage — machine-readable in BENCH_serve.json
+// form with -out.
+//
+// The query mix is template-randomized: a pre-generated workload pool
+// (the same generator the daemon trains from, under its own seed) is
+// cycled deterministically, so runs are reproducible and observe traffic
+// carries the pool's real simulated metrics.
+//
+// Retries are disabled: a 429 is the daemon shedding load, which is
+// exactly what a load test must count rather than paper over.
+//
+// Usage:
+//
+//	qload -addr http://localhost:8080 -rate 200,400 -duration 10s -out BENCH_serve.json
+//	qload -addr http://localhost:8080 -closed 4,16 -mix 0.8
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/cli"
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/workload"
+	"repro/pkg/qpredictclient"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "daemon base URL")
+	rates := flag.String("rate", "200", "comma-separated open-loop arrival rates (requests/sec), one measurement stage per rate")
+	closed := flag.String("closed", "", "comma-separated closed-loop worker counts, one stage per count (overrides -rate)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window per stage")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup before measurement per stage (requests issued but not recorded)")
+	mix := flag.Float64("mix", 0.9, "fraction of requests that are predicts (the rest are observes)")
+	batch := flag.Int("batch", 1, "queries per predict request")
+	poolSize := flag.Int("pool", 200, "distinct queries in the generated workload pool")
+	seed := flag.Int64("seed", 2, "workload pool seed")
+	dataSeed := flag.Int64("dataseed", 1000, "data realization seed (match the daemon's)")
+	machineName := flag.String("machine", "research4", "machine the pool's observe metrics are simulated on (match the daemon's)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	inflight := flag.Int("inflight", 512, "open-loop in-flight request cap (arrivals past it are counted as sloughed, not queued)")
+	wait := flag.Duration("wait", 15*time.Second, "how long to wait for the daemon to report ready before starting")
+	out := flag.String("out", "", "write the machine-readable result (BENCH_serve.json form) to this file")
+	label := flag.String("label", "", "free-form label recorded in the output (e.g. cached / uncached)")
+	flag.Parse()
+
+	if *mix < 0 || *mix > 1 {
+		cli.Fatalf("-mix must be in [0,1]")
+	}
+	if *batch < 1 {
+		cli.Fatalf("-batch must be at least 1")
+	}
+	machine, err := exec.ParseMachine(*machineName)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+	stages, err := parseStages(*rates, *closed)
+	if err != nil {
+		cli.Fatalf("%v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %d-query workload pool (seed %d)...\n", *poolSize, *seed)
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Seed:      *seed,
+		DataSeed:  *dataSeed,
+		Machine:   machine,
+		Schema:    catalog.TPCDS(1),
+		Templates: workload.TPCDSTemplates(),
+		Count:     *poolSize,
+	})
+	if err != nil {
+		cli.Fatalf("generating workload pool: %v", err)
+	}
+	pool := make([]poolEntry, len(ds.Queries))
+	for i, q := range ds.Queries {
+		pool[i] = poolEntry{sql: q.SQL, metrics: api.MetricsFrom(q.Metrics)}
+	}
+
+	c := qpredictclient.New(*addr, &qpredictclient.Options{
+		MaxRetries: -1, // surface 429s; a load test must count shed load
+		HTTPClient: &http.Client{Timeout: *timeout},
+		UserAgent:  "qload/1",
+	})
+	if err := waitReady(c, *wait); err != nil {
+		cli.Fatalf("%v", err)
+	}
+
+	l := &loader{client: c, pool: pool, mix: *mix, batch: *batch}
+	results := make([]stageResult, 0, len(stages))
+	for _, sp := range stages {
+		fmt.Fprintf(os.Stderr, "stage %s: warmup %s, measuring %s...\n", sp.name(), warmup, duration)
+		res := l.run(sp, *warmup, *duration, *inflight)
+		results = append(results, res)
+		fmt.Println(res.human(sp))
+	}
+
+	if *out != "" {
+		if err := writeBench(*out, *label, *addr, *mix, *batch, *poolSize, stages, results); err != nil {
+			cli.Fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	for _, r := range results {
+		if r.Failed > 0 {
+			cli.Exit(1)
+		}
+	}
+}
+
+// poolEntry is one pre-generated query: SQL for predicts, SQL+metrics for
+// observes.
+type poolEntry struct {
+	sql     string
+	metrics api.Metrics
+}
+
+// stageSpec is one load stage: open loop at Rate req/s, or closed loop
+// with Workers concurrent callers.
+type stageSpec struct {
+	Mode    string  `json:"mode"` // "open" or "closed"
+	Rate    float64 `json:"target_rate,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+func (s stageSpec) name() string {
+	if s.Mode == "closed" {
+		return fmt.Sprintf("closed/%d workers", s.Workers)
+	}
+	return fmt.Sprintf("open/%.0f req/s", s.Rate)
+}
+
+func parseStages(rates, closed string) ([]stageSpec, error) {
+	var out []stageSpec
+	if closed != "" {
+		for _, f := range strings.Split(closed, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -closed worker count %q", f)
+			}
+			out = append(out, stageSpec{Mode: "closed", Workers: n})
+		}
+		return out, nil
+	}
+	for _, f := range strings.Split(rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad -rate %q", f)
+		}
+		out = append(out, stageSpec{Mode: "open", Rate: r})
+	}
+	return out, nil
+}
+
+func waitReady(c *qpredictclient.Client, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		ok, err := c.Ready(ctx)
+		cancel()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not ready after %s (last: ok=%v err=%v)", wait, ok, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// loader drives one daemon with a fixed query pool and traffic mix.
+type loader struct {
+	client *qpredictclient.Client
+	pool   []poolEntry
+	mix    float64
+	batch  int
+
+	mu       sync.Mutex
+	latNs    []int64
+	predicts int64
+	observes int64
+	complete int64
+	failed   int64
+	rej429   int64
+}
+
+// one issues request i (predict or observe per the deterministic mix) and
+// records its outcome when record is true. The i-based scheme keeps the
+// traffic reproducible and lock-free: query choice and op choice are pure
+// functions of the request index.
+func (l *loader) one(i int64, record bool) {
+	e := &l.pool[int((i*2654435761)%int64(len(l.pool)))]
+	predict := float64(i%1000) < l.mix*1000
+	start := time.Now()
+	var err error
+	if predict {
+		if l.batch == 1 {
+			_, err = l.client.Predict(context.Background(), e.sql)
+		} else {
+			sqls := make([]string, l.batch)
+			for j := range sqls {
+				sqls[j] = l.pool[int((i*2654435761+int64(j))%int64(len(l.pool)))].sql
+			}
+			_, err = l.client.Predict(context.Background(), sqls...)
+		}
+	} else {
+		_, err = l.client.Observe(context.Background(), api.Observation{SQL: e.sql, Metrics: e.metrics})
+	}
+	lat := time.Since(start)
+	if !record {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err == nil {
+		l.complete++
+		l.latNs = append(l.latNs, int64(lat))
+		if predict {
+			l.predicts++
+		} else {
+			l.observes++
+		}
+		return
+	}
+	var apiErr *qpredictclient.APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		l.rej429++
+		return
+	}
+	l.failed++
+}
+
+func (l *loader) reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.latNs = l.latNs[:0]
+	l.predicts, l.observes, l.complete, l.failed, l.rej429 = 0, 0, 0, 0, 0
+}
+
+// run executes one stage: warmup (unrecorded), then a measured window.
+func (l *loader) run(sp stageSpec, warmup, duration time.Duration, inflight int) stageResult {
+	l.reset()
+	var sloughed int64
+	start := time.Now()
+	measureStart := start.Add(warmup)
+	end := measureStart.Add(duration)
+
+	var wg sync.WaitGroup
+	var sent int64
+	if sp.Mode == "closed" {
+		var seq atomic.Int64
+		var sentN atomic.Int64
+		for w := 0; w < sp.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					now := time.Now()
+					if now.After(end) {
+						return
+					}
+					record := now.After(measureStart)
+					if record {
+						sentN.Add(1)
+					}
+					l.one(seq.Add(1), record)
+				}
+			}()
+		}
+		wg.Wait()
+		sent = sentN.Load()
+	} else {
+		// Open loop: request i fires at start + i*interval regardless of
+		// how long earlier requests take — the arrival process a real
+		// client population generates. Arrivals that would exceed the
+		// in-flight cap are sloughed (counted, not queued) so a saturated
+		// server can't silently convert the test to closed-loop.
+		interval := time.Duration(float64(time.Second) / sp.Rate)
+		sem := make(chan struct{}, inflight)
+		for i := int64(0); ; i++ {
+			t := start.Add(time.Duration(i) * interval)
+			if t.After(end) {
+				break
+			}
+			if d := time.Until(t); d > 0 {
+				time.Sleep(d)
+			}
+			record := time.Now().After(measureStart)
+			select {
+			case sem <- struct{}{}:
+			default:
+				if record {
+					sloughed++
+				}
+				continue
+			}
+			if record {
+				sent++
+			}
+			wg.Add(1)
+			go func(i int64, record bool) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				l.one(i, record)
+			}(i, record)
+		}
+		wg.Wait()
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	res := stageResult{
+		Stage:       sp,
+		DurationSec: duration.Seconds(),
+		Sent:        sent,
+		Completed:   l.complete,
+		Predicts:    l.predicts,
+		Observes:    l.observes,
+		Failed:      l.failed,
+		Rejected429: l.rej429,
+		Sloughed:    sloughed,
+		Throughput:  float64(l.complete) / duration.Seconds(),
+	}
+	res.Latency = summarize(l.latNs)
+	return res
+}
+
+// latencySummary is the measured distribution in milliseconds.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(latNs []int64) latencySummary {
+	if len(latNs) == 0 {
+		return latencySummary{}
+	}
+	s := append([]int64(nil), latNs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(q float64) float64 {
+		idx := int(q * float64(len(s)-1))
+		return float64(s[idx]) / 1e6
+	}
+	var sum int64
+	for _, v := range s {
+		sum += v
+	}
+	return latencySummary{
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+		P99:  pct(0.99),
+		P999: pct(0.999),
+		Mean: float64(sum) / float64(len(s)) / 1e6,
+		Max:  float64(s[len(s)-1]) / 1e6,
+	}
+}
+
+// stageResult is one stage's measured outcome.
+type stageResult struct {
+	Stage       stageSpec      `json:"stage"`
+	DurationSec float64        `json:"duration_sec"`
+	Sent        int64          `json:"sent"`
+	Completed   int64          `json:"completed"`
+	Predicts    int64          `json:"predicts"`
+	Observes    int64          `json:"observes"`
+	Failed      int64          `json:"failed"`
+	Rejected429 int64          `json:"rejected_429"`
+	Sloughed    int64          `json:"sloughed,omitempty"`
+	Throughput  float64        `json:"throughput_rps"`
+	Latency     latencySummary `json:"latency_ms"`
+}
+
+func (r stageResult) human(sp stageSpec) string {
+	return fmt.Sprintf("%-22s %8.1f req/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  p99.9 %7.2fms  (completed %d, 429 %d, failed %d, sloughed %d)",
+		sp.name(), r.Throughput, r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.P999,
+		r.Completed, r.Rejected429, r.Failed, r.Sloughed)
+}
+
+func writeBench(path, label, addr string, mix float64, batch, pool int, stages []stageSpec, results []stageResult) error {
+	doc := struct {
+		Bench       string        `json:"bench"`
+		Description string        `json:"description"`
+		Label       string        `json:"label,omitempty"`
+		Date        string        `json:"date"`
+		Addr        string        `json:"addr"`
+		Host        hostInfo      `json:"host"`
+		Mix         float64       `json:"mix"`
+		Batch       int           `json:"batch"`
+		Pool        int           `json:"pool"`
+		Stages      []stageResult `json:"stages"`
+		Note        string        `json:"note"`
+	}{
+		Bench:       "qload",
+		Description: "Sustained mixed predict/observe load against qpredictd via pkg/qpredictclient; retries disabled so 429s are counted as shed load. Latency percentiles are measured client-side over the post-warmup window.",
+		Label:       label,
+		Date:        time.Now().Format("2006-01-02"),
+		Addr:        addr,
+		Host:        hostInfo{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()},
+		Mix:         mix,
+		Batch:       batch,
+		Pool:        pool,
+		Stages:      results,
+		Note:        "Numbers are from a shared CI-class VM; treat ratios across labels at the same stage, not absolutes, as the signal.",
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+type hostInfo struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+}

@@ -86,6 +86,7 @@ func main() {
 	fsyncPolicy := flag.String("fsync", def.State.Fsync, "WAL fsync policy with -state-dir: always, batch, or none")
 	fsyncEvery := flag.Int("fsync-every", def.State.FsyncEvery, "appends between fsyncs with -fsync batch")
 	snapshotEvery := flag.Int("snapshot-every", def.State.SnapshotEvery, "applied observations between state snapshots with -state-dir")
+	planCache := flag.Int("plan-cache", def.Serve.PlanCache, "plan/feature cache entries (0 = built-in default, negative disables caching)")
 	champion := flag.String("champion", def.Champion.Kind, "initial champion model kind (kcca, planstruct, optcost)")
 	challengers := flag.String("challengers", "", "comma-separated challenger model kinds to shadow-score (enables the model zoo)")
 	flag.Parse()
@@ -143,6 +144,8 @@ func main() {
 			opts.State.FsyncEvery = *fsyncEvery
 		case "snapshot-every":
 			opts.State.SnapshotEvery = *snapshotEvery
+		case "plan-cache":
+			opts.Serve.PlanCache = *planCache
 		case "champion":
 			opts.Champion.Kind = *champion
 		case "challengers":
@@ -179,6 +182,18 @@ func main() {
 	schema := catalog.TPCDS(1)
 	opt := core.DefaultOptions()
 	opt.TwoStep = opts.Train.TwoStep
+
+	// One plan/feature cache serves every SQL-planning consumer in the
+	// process — the predict handlers, the observe path, and WAL replay —
+	// so a query seen on any of them is planned once. Generation-free
+	// keying (plans depend only on schema, data seed, and machine, all
+	// fixed for the process) means hot swaps never invalidate it.
+	planner := serve.NewPlanner(schema, opts.Train.DataSeed, machine, opts.Serve.PlanCache)
+	if planner.Enabled() {
+		fmt.Fprintf(os.Stderr, "plan cache: %d entries\n", planner.Cap())
+	} else {
+		fmt.Fprintln(os.Stderr, "plan cache: disabled")
+	}
 
 	// Champion/challenger operation rides on the shard tier (the zoo hangs
 	// off each shard's observe loop), so a zoo-enabled unsharded daemon
@@ -234,7 +249,7 @@ func main() {
 		}); err != nil {
 			cli.Fatalf("%v", err)
 		}
-		plan := serve.PlannerFunc(schema, opts.Train.DataSeed, machine)
+		plan := planner.Plan
 		allWarm = true
 		for i := 0; i < nPart; i++ {
 			st, err := wal.OpenStore(wal.StoreOptions{
@@ -335,6 +350,7 @@ func main() {
 		Schema:   schema,
 		Machine:  machine,
 		DataSeed: opts.Train.DataSeed,
+		Plans:    planner,
 		Window:   opts.Serve.Window.Std(),
 		MaxBatch: opts.Serve.MaxBatch,
 		QueueCap: opts.Serve.QueueCap,

@@ -32,12 +32,15 @@ type QueryInput struct {
 }
 
 // Inputs normalizes the request into a flat query list: the single-query
-// shorthand (if present) followed by the batch entries.
+// shorthand (if present) followed by the batch entries. Batch-only requests
+// (the steady-state load-generator shape) return Queries as-is without
+// copying; callers must not mutate the result.
 func (r *PredictRequest) Inputs() []QueryInput {
-	var in []QueryInput
-	if r.SQL != "" {
-		in = append(in, QueryInput{SQL: r.SQL})
+	if r.SQL == "" {
+		return r.Queries
 	}
+	in := make([]QueryInput, 0, 1+len(r.Queries))
+	in = append(in, QueryInput{SQL: r.SQL})
 	return append(in, r.Queries...)
 }
 

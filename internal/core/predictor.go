@@ -142,6 +142,12 @@ func queryFeature(q *dataset.Query, kind FeatureKind) ([]float64, error) {
 	case SQLFeatures:
 		return features.SQLVector(q.SQL)
 	default:
+		if q.PlanFeat != nil {
+			// Memoized by the plan cache: PlanVector is a pure function of
+			// the plan, so the shared slice is bit-identical to extracting
+			// fresh. Treated as read-only everywhere downstream.
+			return q.PlanFeat, nil
+		}
 		if q.Plan == nil {
 			return nil, ErrNoPlan
 		}

@@ -26,6 +26,12 @@ type Query struct {
 	Plan     *optimizer.Plan
 	Metrics  exec.Metrics
 	Category workload.Category
+	// PlanFeat, when non-nil, memoizes features.PlanVector(Plan) — the plan
+	// feature vector is a pure function of the plan, so it can be computed
+	// once and shared. The slice is read-only: consumers must copy before
+	// mutating, and shallow Query copies (the plan cache's hit path) share
+	// it safely. Nil means "not yet extracted", never "no features".
+	PlanFeat []float64
 }
 
 // Dataset is a set of queries executed on one machine configuration

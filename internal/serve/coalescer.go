@@ -51,12 +51,15 @@ func (s *Server) submit(it *batchItem) error {
 // is already queued, so bursts batch without adding any latency.
 func (s *Server) coalesceLoop() {
 	defer close(s.coalesceDone)
+	// batch and the runBatch request scratch are owned by this goroutine and
+	// reused across micro-batches: the steady-state loop allocates nothing.
+	batch := make([]*batchItem, 0, s.cfg.MaxBatch)
 	for {
 		first, ok := <-s.queue
 		if !ok {
 			return
 		}
-		batch := append(make([]*batchItem, 0, s.cfg.MaxBatch), first)
+		batch = append(batch[:0], first)
 		if s.cfg.Window > 0 {
 			timer := time.NewTimer(s.cfg.Window)
 			for len(batch) < s.cfg.MaxBatch {
@@ -96,6 +99,11 @@ func (s *Server) coalesceLoop() {
 		}
 		queueDepth.Set(int64(len(s.queue)))
 		s.runBatch(batch)
+		// Drop the item pointers so answered items are collectable while the
+		// slice itself is reused for the next batch.
+		for i := range batch {
+			batch[i] = nil
+		}
 	}
 }
 
@@ -124,11 +132,20 @@ func (s *Server) runBatch(batch []*batchItem) {
 	}
 	batchSizeHist.Observe(float64(len(live)))
 	m := s.slot.get()
-	reqs := make([]core.Request, len(live))
+	// reqScratch is reused across batches (runBatch is only ever called from
+	// the coalesce goroutine); entries are cleared after the predict so query
+	// pointers are not pinned past their batch.
+	if cap(s.reqScratch) < len(live) {
+		s.reqScratch = make([]core.Request, len(live))
+	}
+	reqs := s.reqScratch[:len(live)]
 	for i, b := range live {
 		reqs[i] = b.req
 	}
 	results := m.model.Predict(reqs...)
+	for i := range reqs {
+		reqs[i] = core.Request{}
+	}
 	for i, b := range live {
 		b.res = results[i]
 		b.gen = m.gen

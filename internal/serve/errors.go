@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -20,6 +22,19 @@ var (
 	errShuttingDown = errors.New("serve: daemon is draining")
 	errNoFeedback   = errors.New("serve: daemon runs a static model (no observation feedback)")
 )
+
+// planStageError tags which stage of the SQL → plan pipeline failed, so
+// handlers report parse_error vs plan_error even when the failure surfaces
+// through the plan cache or WAL replay. Error() is the underlying message,
+// unchanged — replay diagnostics and wire messages stay byte-identical to
+// the pre-cache pipeline.
+type planStageError struct {
+	code string
+	err  error
+}
+
+func (e *planStageError) Error() string { return e.err.Error() }
+func (e *planStageError) Unwrap() error { return e.err }
 
 // legacyText rewrites the shard tier's sentinel messages to the unsharded
 // daemon's wording, keeping the single-shard wire format byte-identical to
@@ -100,10 +115,50 @@ func writeError(w http.ResponseWriter, code, message string) {
 	})
 }
 
-// writeJSON emits any response body with the right headers.
+// encBuf pairs a reusable buffer with a JSON encoder bound to it, so the
+// steady-state response path allocates neither: json.NewEncoder per response
+// allocates the encoder, and Marshal-then-Write would double-copy the body.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &encBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// readPool holds request-body scratch buffers for readJSON.
+var readPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readJSON slurps the size-capped request body into a pooled buffer and
+// unmarshals it. json.Unmarshal copies what it keeps (strings, slices), so
+// returning the buffer to the pool is safe.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBody int64, into any) error {
+	buf := readPool.Get().(*bytes.Buffer)
+	defer readPool.Put(buf)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), into)
+}
+
+// writeJSON emits any response body with the right headers, encoding into a
+// pooled buffer so the hot path does not allocate per response. Bytes on the
+// wire are identical to encoding straight into the ResponseWriter.
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	e := encPool.Get().(*encBuf)
+	defer encPool.Put(e)
+	e.buf.Reset()
+	if err := e.enc.Encode(body); err != nil {
+		// Encoding failures are programming errors (our own wire types);
+		// surface them as a bare 500 rather than half a body.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(body)
+	w.Write(e.buf.Bytes())
 }

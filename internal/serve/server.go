@@ -17,7 +17,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -79,6 +78,16 @@ type Config struct {
 	Machine  exec.Machine
 	DataSeed int64
 
+	// Plans, when set, is the plan/feature cache every handler plans SQL
+	// through — qpredictd shares one cache between live traffic and WAL
+	// replay so recovery pre-warms serving. Nil builds a private cache with
+	// PlanCacheEntries capacity over the daemon's planner.
+	Plans *core.PlanCache
+	// PlanCacheEntries bounds the private plan cache when Plans is nil:
+	// 0 selects the default, negative disables caching (every request pays
+	// the full parse + optimize pipeline — the benchmark baseline).
+	PlanCacheEntries int
+
 	// Window is how long the coalescer holds an open micro-batch for more
 	// arrivals. Zero still sweeps already-queued requests into the batch
 	// but never waits.
@@ -111,8 +120,13 @@ type Config struct {
 // Server is the prediction service. Create with New, mount with Handler,
 // stop with Close.
 type Server struct {
-	cfg     Config
-	planCfg optimizer.Config
+	cfg Config
+	// plans is the fingerprint-keyed plan/feature cache (core.PlanCache):
+	// generation-independent — plans are pure in (SQL, schema, data seed,
+	// planner config), so hot swaps never invalidate it — and shared by the
+	// predict path, the observe path, and (through the planned queries it
+	// returns) the shard tier's shadow scorer.
+	plans *core.PlanCache
 
 	// router is non-nil in sharded mode; slot/sliding/queue are then unused
 	// (each shard owns its own).
@@ -129,6 +143,9 @@ type Server struct {
 
 	queue        chan *batchItem
 	coalesceDone chan struct{}
+	// reqScratch is the coalescer's reusable micro-batch request slice,
+	// owned exclusively by the coalesce goroutine (see runBatch).
+	reqScratch []core.Request
 
 	observeCh   chan *dataset.Query
 	observeDone chan struct{}
@@ -168,10 +185,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 4 << 20
 	}
+	if cfg.Plans == nil {
+		cfg.Plans = NewPlanner(cfg.Schema, cfg.DataSeed, cfg.Machine, cfg.PlanCacheEntries)
+	}
 	s := &Server{
-		cfg:     cfg,
-		planCfg: optimizer.DefaultConfig(cfg.Machine.Processors),
-		router:  cfg.Router,
+		cfg:    cfg,
+		plans:  cfg.Plans,
+		router: cfg.Router,
 	}
 	if s.router != nil {
 		return s, nil
@@ -293,28 +313,40 @@ func PlannerFunc(schema *catalog.Schema, dataSeed int64, machine exec.Machine) c
 	return func(sql string) (*dataset.Query, error) {
 		ast, err := sqlparse.Parse(sql)
 		if err != nil {
-			return nil, err
+			// Stage-tagged so handlers report parse_error vs plan_error;
+			// Error() passes the message through unchanged, keeping WAL
+			// replay diagnostics byte-identical.
+			return nil, &planStageError{code: api.CodeParse, err: err}
 		}
 		plan, err := optimizer.BuildPlan(ast, schema, dataSeed, planCfg)
 		if err != nil {
-			return nil, err
+			return nil, &planStageError{code: api.CodePlan, err: err}
 		}
 		return &dataset.Query{SQL: sql, AST: ast, Plan: plan}, nil
 	}
 }
 
-// planQuery turns SQL text into a planned query, classifying failures as
-// parse vs plan errors.
+// NewPlanner wraps the daemon's deterministic planner in a plan/feature
+// cache (core.PlanCache). entries 0 selects the default capacity, negative
+// disables caching. qpredictd builds one and shares it between WAL replay
+// (wal.StoreOptions.Plan) and live serving (Config.Plans), so boot-time
+// recovery pre-warms the cache the first requests hit.
+func NewPlanner(schema *catalog.Schema, dataSeed int64, machine exec.Machine, entries int) *core.PlanCache {
+	return core.NewPlanCache(entries, PlannerFunc(schema, dataSeed, machine))
+}
+
+// planQuery turns SQL text into a planned query through the plan cache,
+// classifying failures as parse vs plan errors.
 func (s *Server) planQuery(sql string) (*dataset.Query, float64, *api.Error) {
-	ast, err := sqlparse.Parse(sql)
+	q, err := s.plans.Plan(sql)
 	if err != nil {
-		return nil, 0, &api.Error{Code: api.CodeParse, Message: err.Error()}
-	}
-	plan, err := optimizer.BuildPlan(ast, s.cfg.Schema, s.cfg.DataSeed, s.planCfg)
-	if err != nil {
+		var stage *planStageError
+		if errors.As(err, &stage) {
+			return nil, 0, &api.Error{Code: stage.code, Message: stage.err.Error()}
+		}
 		return nil, 0, &api.Error{Code: api.CodePlan, Message: err.Error()}
 	}
-	return &dataset.Query{SQL: sql, AST: ast, Plan: plan}, plan.Cost, nil
+	return q, q.Plan.Cost, nil
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -326,7 +358,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer predictSeconds.Time()()
 
 	var req api.PredictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)).Decode(&req); err != nil {
+	if err := readJSON(w, r, s.cfg.MaxBody, &req); err != nil {
 		writeError(w, api.CodeBadRequest, "decoding body: "+err.Error())
 		return
 	}
@@ -359,8 +391,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// the queue, so a batch mixing good and bad SQL still gets predictions
 	// for the good part.
 	results := make([]api.QueryResult, len(inputs))
-	var items []*batchItem
-	var itemIdx []int
+	// One slab for the batch items: the slab is sized up front, so the
+	// pointers handed to the coalescer stay valid for its whole life (items
+	// may outlive this handler when a deadline abandons them).
+	itemBuf := make([]batchItem, len(inputs))
+	items := make([]*batchItem, 0, len(inputs))
+	itemIdx := make([]int, 0, len(inputs))
 	for i, in := range inputs {
 		results[i].SQL = in.SQL
 		q, cost, apiErr := s.planQuery(in.SQL)
@@ -369,7 +405,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		results[i].OptimizerCost = cost
-		items = append(items, &batchItem{ctx: ctx, req: core.Request{Query: q}, done: make(chan struct{})})
+		it := &itemBuf[len(items)]
+		*it = batchItem{ctx: ctx, req: core.Request{Query: q}, done: make(chan struct{})}
+		items = append(items, it)
 		itemIdx = append(itemIdx, i)
 	}
 	for _, it := range items {
@@ -518,7 +556,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req api.ObserveRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)).Decode(&req); err != nil {
+	if err := readJSON(w, r, s.cfg.MaxBody, &req); err != nil {
 		writeError(w, api.CodeBadRequest, "decoding body: "+err.Error())
 		return
 	}

@@ -285,7 +285,7 @@ func TestOverload(t *testing.T) {
 			Schema: catalog.TPCDS(1), Machine: exec.Research4(), DataSeed: fixDataSeed,
 			MaxBatch: 8, QueueCap: 1, Timeout: time.Second, MaxQueries: 16, MaxBody: 1 << 20,
 		},
-		planCfg:      optimizer.DefaultConfig(exec.Research4().Processors),
+		plans:        NewPlanner(catalog.TPCDS(1), fixDataSeed, exec.Research4(), 0),
 		queue:        make(chan *batchItem, 1),
 		coalesceDone: make(chan struct{}),
 	}
@@ -318,7 +318,7 @@ func TestPredictTimeout(t *testing.T) {
 			Schema: catalog.TPCDS(1), Machine: exec.Research4(), DataSeed: fixDataSeed,
 			MaxBatch: 8, QueueCap: 16, Timeout: 50 * time.Millisecond, MaxQueries: 16, MaxBody: 1 << 20,
 		},
-		planCfg:      optimizer.DefaultConfig(exec.Research4().Processors),
+		plans:        NewPlanner(catalog.TPCDS(1), fixDataSeed, exec.Research4(), 0),
 		queue:        make(chan *batchItem, 16),
 		coalesceDone: make(chan struct{}),
 	}

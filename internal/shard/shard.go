@@ -123,6 +123,9 @@ type Shard struct {
 
 	queue        chan *Item
 	coalesceDone chan struct{}
+	// reqScratch is the coalescer's reusable micro-batch request slice,
+	// owned exclusively by the coalesce goroutine (see runBatch).
+	reqScratch []core.Request
 
 	observeCh   chan *dataset.Query
 	observeDone chan struct{}
@@ -373,12 +376,15 @@ func (s *Shard) observeLoop() {
 // shards proceed within their own deadlines.
 func (s *Shard) coalesceLoop() {
 	defer close(s.coalesceDone)
+	// batch and the runBatch request scratch are owned by this goroutine and
+	// reused across micro-batches: the steady-state loop allocates nothing.
+	batch := make([]*Item, 0, s.cfg.MaxBatch)
 	for {
 		first, ok := <-s.queue
 		if !ok {
 			return
 		}
-		batch := append(make([]*Item, 0, s.cfg.MaxBatch), first)
+		batch = append(batch[:0], first)
 		if s.cfg.Window > 0 {
 			timer := time.NewTimer(s.cfg.Window)
 			for len(batch) < s.cfg.MaxBatch {
@@ -417,6 +423,11 @@ func (s *Shard) coalesceLoop() {
 			}
 		}
 		s.runBatch(batch)
+		// Drop the item pointers so answered items are collectable while the
+		// slice itself is reused for the next batch.
+		for i := range batch {
+			batch[i] = nil
+		}
 	}
 }
 
@@ -447,11 +458,20 @@ func (s *Shard) runBatch(batch []*Item) {
 	}
 	batchSizeHist.Observe(float64(len(live)))
 	m := s.slot.Get()
-	reqs := make([]core.Request, len(live))
+	// reqScratch is reused across batches (runBatch is only ever called from
+	// the coalesce goroutine); entries are cleared after the predict so query
+	// pointers are not pinned past their batch.
+	if cap(s.reqScratch) < len(live) {
+		s.reqScratch = make([]core.Request, len(live))
+	}
+	reqs := s.reqScratch[:len(live)]
 	for i, b := range live {
 		reqs[i] = b.Req
 	}
 	results := m.Model.Predict(reqs...)
+	for i := range reqs {
+		reqs[i] = core.Request{}
+	}
 	s.nPredicts.Add(int64(len(live)))
 	s.mPredicts.Add(int64(len(live)))
 	for i, b := range live {

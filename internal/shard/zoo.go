@@ -13,9 +13,12 @@ import (
 	"repro/internal/workload"
 )
 
-// Zoo-wide metrics. Per-kind relative-error histograms are created lazily
-// (model.challenger.<kind>.relerr / model.champion.relerr) so /metrics only
-// lists kinds actually running.
+// Zoo-wide metrics. Per-kind relative-error histograms
+// (model.challenger.<kind>.relerr) are resolved once per zoo at
+// construction — the kinds are known up front — so /metrics only lists
+// kinds actually running while the per-observation shadow-score path does
+// no registry lookups or name concatenation. The champion histogram is
+// role-based and shared by whichever kind currently serves.
 var (
 	shadowScores     = obs.GetCounter("model.shadow.scores")
 	championPromoted = obs.GetCounter("model.champion.promotions")
@@ -78,22 +81,28 @@ type zoo struct {
 	// sinceGen is the slot generation at which the current champion took
 	// over (boot generation until the first promotion).
 	sinceGen atomic.Int64
-	// relErr[kind] is the per-kind shadow relative-error histogram.
-	relErr map[string]*obs.Histogram
+	// relErr[kind] is the per-kind challenger-role shadow relative-error
+	// histogram; champRelErr is the champion-role histogram. Both are
+	// resolved once at construction and read-only after, so the
+	// per-observation shadow-score path does no locking or registry lookups.
+	relErr      map[string]*obs.Histogram
+	champRelErr *obs.Histogram
 }
 
 // newZoo builds the zoo state; cfg must be normalized.
 func newZoo(cfg *ZooConfig) *zoo {
 	z := &zoo{
-		champion: cfg.Champion,
-		models:   map[string]model.Model{},
-		trainers: map[string]model.Trainer{},
-		board:    model.NewScoreboard(cfg.Policy),
-		relErr:   map[string]*obs.Histogram{},
+		champion:    cfg.Champion,
+		models:      map[string]model.Model{},
+		trainers:    map[string]model.Trainer{},
+		board:       model.NewScoreboard(cfg.Policy),
+		relErr:      map[string]*obs.Histogram{},
+		champRelErr: obs.GetHistogram("model.champion.relerr"),
 	}
 	for _, kind := range append([]string{cfg.Champion}, cfg.Challengers...) {
 		tr, _ := model.NewTrainer(kind, cfg.Opt) // validated by normalize
 		z.trainers[kind] = tr
+		z.relErr[kind] = obs.GetHistogram("model.challenger." + kind + ".relerr")
 		if m := cfg.Seeds[kind]; m != nil {
 			z.models[kind] = m
 		}
@@ -152,21 +161,14 @@ func (z *zoo) kinds() []string {
 	return out
 }
 
-// histFor returns (lazily creating) the shadow relative-error histogram for
-// a kind under its current role.
+// histFor returns the shadow relative-error histogram for a kind under its
+// current role. The maps are immutable after newZoo, so this is a lock-free
+// read on the per-observation path.
 func (z *zoo) histFor(kind string, isChampion bool) *obs.Histogram {
-	name := "model.challenger." + kind + ".relerr"
 	if isChampion {
-		name = "model.champion.relerr"
+		return z.champRelErr
 	}
-	z.mu.Lock()
-	h := z.relErr[name]
-	if h == nil {
-		h = obs.GetHistogram(name)
-		z.relErr[name] = h
-	}
-	z.mu.Unlock()
-	return h
+	return z.relErr[kind]
 }
 
 // onRetrain refreshes every kind's model after a sliding retrain: the KCCA

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds tiny cross-package test helpers. RaceEnabled lets
+// allocation-count assertions (testing.AllocsPerOp) skip under the race
+// detector, whose instrumentation allocates on its own — the tests still
+// run there for race coverage, only the numeric bound is waived.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = false

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/testutil"
+)
+
+// stubPlan satisfies StoreOptions.Plan for append-only fixtures that never
+// call Recover.
+func stubPlan(string) (*dataset.Query, error) { return nil, nil }
+
+// edgeFloats exercise every branch of appendJSONFloat: zero and negative
+// zero, the 'f'/'e' format boundaries at 1e-6 and 1e21, denormals, exponent
+// leading-zero stripping (e-09 → e-9), and shortest-round-trip cases.
+var edgeFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 123.456, -123.456,
+	1e-6, 9.999999999999999e-7, 1e-7, 2.5e-9, 1e21, 9.999999999999999e20,
+	-1e21, -1e-7, 5e-324, -5e-324, math.MaxFloat64, -math.MaxFloat64,
+	math.SmallestNonzeroFloat64, 1.0 / 3.0, 0.1, 1e100, 1e-100,
+	1234567890123456789, 3.0000000000000004,
+}
+
+// edgeStrings exercise every branch of appendJSONString: plain ASCII,
+// every named escape, generic control characters, the HTML escapes,
+// multi-byte runes, U+2028/U+2029, and invalid UTF-8 (lone and truncated
+// sequences).
+var edgeStrings = []string{
+	"",
+	"SELECT * FROM store_sales",
+	`quote " backslash \ done`,
+	"tab\there newline\nthere cr\rend bs\bff\f",
+	"ctrl\x00\x01\x1f\x7fbytes",
+	"html <b>&amp;</b> escapes",
+	"unicode: héllo wörld — ツ 🚀",
+	"line sep \u2028 para sep \u2029 end",
+	"bad utf8 \xff\xfe mid \xe2\x80 tail \xc3",
+	strings.Repeat("x", 300) + "\n" + strings.Repeat("é", 50),
+}
+
+func marshalRecord(t *testing.T, sql string, m exec.Metrics) ([]byte, error) {
+	t.Helper()
+	return json.Marshal(ObservationRecord{SQL: sql, Metrics: m})
+}
+
+// TestAppendObservationMatchesMarshal asserts the hand-rolled encoder is
+// byte-identical to json.Marshal across the edge-case cross product plus a
+// seeded random sweep — records written by either encoder must replay
+// interchangeably.
+func TestAppendObservationMatchesMarshal(t *testing.T) {
+	check := func(sql string, m exec.Metrics) {
+		t.Helper()
+		want, err := marshalRecord(t, sql, m)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got, err := appendObservation(nil, sql, m)
+		if err != nil {
+			t.Fatalf("appendObservation(%q, %+v): %v", sql, m, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("encoding mismatch for sql=%q metrics=%+v\n got: %s\nwant: %s", sql, m, got, want)
+		}
+	}
+
+	for _, sql := range edgeStrings {
+		for i, f := range edgeFloats {
+			m := exec.Metrics{
+				ElapsedSec:      f,
+				RecordsAccessed: edgeFloats[(i+1)%len(edgeFloats)],
+				RecordsUsed:     edgeFloats[(i+2)%len(edgeFloats)],
+				DiskIOs:         edgeFloats[(i+3)%len(edgeFloats)],
+				MessageCount:    edgeFloats[(i+4)%len(edgeFloats)],
+				MessageBytes:    edgeFloats[(i+5)%len(edgeFloats)],
+			}
+			check(sql, m)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	randFloat := func() float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		case 1:
+			return float64(rng.Int63n(1e12))
+		case 2:
+			return math.Float64frombits(rng.Uint64() &^ (0x7FF << 52)) // finite by construction
+		default:
+			return rng.ExpFloat64()
+		}
+	}
+	randString := func() string {
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return string(b)
+	}
+	for i := 0; i < 2000; i++ {
+		m := exec.Metrics{
+			ElapsedSec: randFloat(), RecordsAccessed: randFloat(), RecordsUsed: randFloat(),
+			DiskIOs: randFloat(), MessageCount: randFloat(), MessageBytes: randFloat(),
+		}
+		check(randString(), m)
+	}
+
+	// Appending to a non-empty buffer extends it in place.
+	prefix := []byte("prefix|")
+	out, err := appendObservation(prefix, "SELECT 1", exec.Metrics{ElapsedSec: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(out), "prefix|{") {
+		t.Fatalf("appendObservation did not extend dst: %s", out)
+	}
+}
+
+// TestAppendObservationRejectsNonFinite asserts NaN and ±Inf fail with the
+// same message json.Marshal reports, so walAppendErrors counts the same
+// events whichever encoder runs.
+func TestAppendObservationRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m := exec.Metrics{ElapsedSec: 1, DiskIOs: bad}
+		_, wantErr := marshalRecord(t, "q", m)
+		if wantErr == nil {
+			t.Fatalf("json.Marshal accepted %v", bad)
+		}
+		_, gotErr := appendObservation(nil, "q", m)
+		if gotErr == nil {
+			t.Fatalf("appendObservation accepted %v", bad)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Fatalf("error mismatch for %v:\n got: %v\nwant: %v", bad, gotErr, wantErr)
+		}
+	}
+}
+
+var benchMetrics = exec.Metrics{
+	ElapsedSec: 12.375, RecordsAccessed: 1.8e6, RecordsUsed: 42517,
+	DiskIOs: 9031.25, MessageCount: 128, MessageBytes: 65536,
+}
+
+const benchSQL = `SELECT ss_item_sk, SUM(ss_net_paid) FROM store_sales WHERE ss_quantity < 42 GROUP BY ss_item_sk`
+
+// BenchmarkObservationEncode is the before/after for the WAL encoder
+// satellite: marshal is the old per-record json.Marshal, append is the
+// pooled hand-rolled encoder (0 allocs/op steady state).
+func BenchmarkObservationEncode(b *testing.B) {
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(ObservationRecord{SQL: benchSQL, Metrics: benchMetrics}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			out, err := appendObservation(buf[:0], benchSQL, benchMetrics)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out
+		}
+	})
+}
+
+// TestStoreAppendAllocs is the AllocsPerOp regression guard for the observe
+// hot path: after warmup, Store.Append (encode + frame + write) must not
+// allocate at all. The numeric bound is waived under -race, whose
+// instrumentation allocates on its own.
+func TestStoreAppendAllocs(t *testing.T) {
+	st, err := OpenStore(StoreOptions{Dir: t.TempDir(), Policy: SyncNone, Plan: stubPlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.log.Close()
+
+	for i := 0; i < 8; i++ { // warm the encode and frame buffers
+		if _, err := st.Append(benchSQL, benchMetrics); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := st.Append(benchSQL, benchMetrics); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if testutil.RaceEnabled {
+		t.Skipf("race detector enabled; skipping alloc bound (measured %.2f allocs/op)", allocs)
+	}
+	if allocs > 0 {
+		t.Fatalf("Store.Append allocated %.2f allocs/op in steady state; want 0", allocs)
+	}
+}
+
+// BenchmarkWALAppend measures the full observe-side durability path:
+// encode, frame, and write one observation record (SyncNone isolates CPU
+// cost from fsync).
+func BenchmarkWALAppend(b *testing.B) {
+	st, err := OpenStore(StoreOptions{Dir: b.TempDir(), Policy: SyncNone, Plan: stubPlan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.log.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Append(benchSQL, benchMetrics); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

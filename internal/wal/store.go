@@ -86,6 +86,12 @@ type Store struct {
 	loggedSeq  uint64 // last WAL seq appended
 	sinceSnap  int
 
+	// encBuf is the reusable observation-record encode buffer. The observe
+	// goroutine serializes every Append (see the Store contract above), so a
+	// plain single-owner buffer suffices — steady-state appends allocate
+	// nothing.
+	encBuf []byte
+
 	info RecoveryInfo
 }
 
@@ -199,7 +205,11 @@ func (st *Store) Info() RecoveryInfo { return st.info }
 // (availability over durability — the error is counted and the record is
 // simply absent from a future replay).
 func (st *Store) Append(sql string, m exec.Metrics) (uint64, error) {
-	payload, err := json.Marshal(ObservationRecord{SQL: sql, Metrics: m})
+	// Hand-rolled append encoder, byte-identical to json.Marshal on the
+	// ObservationRecord wire shape but reusing st.encBuf instead of
+	// allocating per record.
+	payload, err := appendObservation(st.encBuf[:0], sql, m)
+	st.encBuf = payload
 	if err != nil {
 		walAppendErrors.Inc()
 		return 0, fmt.Errorf("wal: encoding observation: %w", err)

@@ -160,6 +160,12 @@ type Log struct {
 	unsynced int    // appends since the last fsync (SyncBatch)
 	closed   bool
 
+	// frame is the reusable header+payload write buffer. The Log's owner
+	// serializes Append calls (single-writer contract), and the bytes are
+	// fully handed to the OS by Write before Append returns, so reuse is
+	// safe and steady-state appends allocate nothing.
+	frame []byte
+
 	// Open-time repair stats, surfaced through the Store's RecoveryInfo.
 	tornTail       bool
 	truncatedBytes int64
@@ -373,7 +379,12 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) == 0 || len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(payload))
 	}
-	frame := make([]byte, recHeaderLen+len(payload))
+	if need := recHeaderLen + len(payload); cap(l.frame) < need {
+		l.frame = make([]byte, need)
+	} else {
+		l.frame = l.frame[:need]
+	}
+	frame := l.frame
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[recHeaderLen:], payload)

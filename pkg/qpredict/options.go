@@ -82,6 +82,10 @@ type ServeOptions struct {
 	Timeout Duration `json:"timeout"`
 	// DrainTimeout bounds graceful shutdown.
 	DrainTimeout Duration `json:"drain_timeout"`
+	// PlanCache sizes the fingerprint-keyed plan/feature cache shared by
+	// the predict, observe, and WAL-replay paths (0 = the built-in
+	// default, negative disables caching — every request re-plans).
+	PlanCache int `json:"plan_cache,omitempty"`
 }
 
 // SlidingOptions configures the sliding retraining window.

@@ -206,6 +206,24 @@ func (c *Client) Ready(ctx context.Context) (bool, error) {
 	return resp.StatusCode == http.StatusOK, nil
 }
 
+// bodyBuf pairs a reusable request-encode buffer with a json.Encoder bound
+// to it once, so steady-state calls reuse both the encoder state and the
+// underlying bytes.
+type bodyBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var bodyPool = sync.Pool{New: func() any {
+	b := new(bodyBuf)
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// readPool recycles response-read buffers; json.Unmarshal copies everything
+// it decodes, so the bytes are safe to reuse as soon as decoding finishes.
+var readPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // retryable reports whether a status merits another attempt: 429 (shed
 // load) and 5xx (transient server trouble). 4xx caller mistakes never
 // retry.
@@ -253,15 +271,20 @@ func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
 }
 
 // do runs one JSON round-trip with bounded retries. The request body is
-// marshaled once and replayed on each attempt; backoff sleeps abort on
-// context cancellation.
+// encoded once into a pooled buffer and replayed on each attempt (the
+// buffer returns to the pool only when do exits, after the last replay);
+// backoff sleeps abort on context cancellation.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
-		var err error
-		if body, err = json.Marshal(in); err != nil {
+		bb := bodyPool.Get().(*bodyBuf)
+		bb.buf.Reset()
+		if err := bb.enc.Encode(in); err != nil {
+			bodyPool.Put(bb)
 			return fmt.Errorf("qpredictclient: encoding request: %w", err)
 		}
+		body = bb.buf.Bytes()
+		defer bodyPool.Put(bb)
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -287,16 +310,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			}
 			lastErr = err
 		} else {
-			data, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+			rb := readPool.Get().(*bytes.Buffer)
+			rb.Reset()
+			_, rerr := rb.ReadFrom(io.LimitReader(resp.Body, 4<<20))
 			resp.Body.Close()
+			data := rb.Bytes()
 			if resp.StatusCode/100 == 2 {
 				if rerr != nil {
+					readPool.Put(rb)
 					return fmt.Errorf("qpredictclient: reading response: %w", rerr)
 				}
 				if out == nil {
+					readPool.Put(rb)
 					return nil
 				}
-				return json.Unmarshal(data, out)
+				err := json.Unmarshal(data, out)
+				readPool.Put(rb)
+				return err
 			}
 			apiErr := &APIError{Code: api.CodeInternal, Status: resp.StatusCode}
 			var wire api.ErrorResponse
@@ -306,6 +336,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			} else {
 				apiErr.Message = http.StatusText(resp.StatusCode)
 			}
+			readPool.Put(rb)
 			if !retryable(resp.StatusCode) {
 				return apiErr
 			}
